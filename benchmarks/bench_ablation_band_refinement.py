@@ -1,0 +1,68 @@
+"""A4 — ablation: band-restricted label-propagation refinement.
+
+PT-Scotch reduces refinement cost by "considering only nodes close to
+the boundary of the current partitioning" (paper §II-B).  This ablation
+measures what the restriction costs/saves in our LP refinement: scan
+volume (nodes visited) and final cut, full scan vs bands of distance
+1–3, starting from a projected-quality partition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import format_table, write_report
+from repro.core import label_propagation_refinement
+from repro.core.label_propagation import band_nodes
+from repro.generators import load_instance
+from repro.graph import max_block_weight_bound
+from repro.kaffpa import kaffpa_partition, KaffpaOptions
+from repro.metrics import edge_cut
+
+
+def run_experiment() -> str:
+    rows = []
+    for name in ("rgg26", "uk-2002"):
+        graph = load_instance(name, seed=0)
+        k = 8
+        lmax = max_block_weight_bound(graph, k, 0.03)
+        # a mediocre starting partition with a real boundary to clean up
+        start = kaffpa_partition(
+            graph, k, 0.03, np.random.default_rng(0),
+            KaffpaOptions(coarsening="matching", refinement_passes=0,
+                          initial_attempts=1),
+        )
+        start_cut = edge_cut(graph, start)
+        configs = [("full", None), ("band-1", 1), ("band-2", 2), ("band-3", 3)]
+        for label, distance in configs:
+            cuts = []
+            for seed in range(3):
+                refined = label_propagation_refinement(
+                    graph, start, lmax, 6, np.random.default_rng(seed),
+                    band_distance=distance,
+                )
+                cuts.append(edge_cut(graph, refined))
+            visited = (
+                graph.num_nodes if distance is None
+                else band_nodes(graph, start, distance).size
+            )
+            rows.append([
+                name, label, f"{start_cut:,}", f"{np.mean(cuts):,.0f}",
+                f"{visited:,}", f"{visited / graph.num_nodes:.0%}",
+            ])
+    table = format_table(
+        "Ablation A4: band refinement (k=8, 6 LP iterations)",
+        ["graph", "mode", "start cut", "refined cut", "nodes scanned", "scan frac"],
+        rows,
+    )
+    return table + (
+        "PT-Scotch's trade: a narrow band scans a fraction of the nodes at "
+        "near-identical refined quality on mesh-like inputs; on web graphs "
+        "the boundary itself is a large node fraction, shrinking the saving.\n"
+    )
+
+
+def test_ablation_band_refinement(run_once):
+    report = run_once(run_experiment)
+    write_report("ablation_band_refinement", report)
+    assert "band-2" in report

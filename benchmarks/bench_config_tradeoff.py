@@ -1,0 +1,44 @@
+"""E8 — configuration trade-off: minimal vs fast vs eco (Section V-A).
+
+The system "gives the user a gradual choice to trade solution quality
+for running time": minimal (1 V-cycle) is fastest, fast (2 V-cycles,
+EA initial population only) in between, eco (5 V-cycles + EA rounds)
+best quality.  One social and one mesh instance.
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_table, run_algorithm, write_report
+from repro.generators import load_instance
+from repro.perf import MACHINE_A
+
+CONFIGS = ("minimal", "fast", "eco")
+
+
+def run_experiment() -> str:
+    rows = []
+    for name in ("uk-2002", "rgg26"):
+        graph = load_instance(name, seed=0)
+        for algo in CONFIGS:
+            row = run_algorithm(algo, graph, name, k=2, num_pes=8,
+                                machine=MACHINE_A, seeds=2)
+            rows.append([
+                name, algo,
+                f"{row.avg_cut:,.0f}", f"{row.best_cut:,}",
+                f"{row.avg_time * 1e3:.2f}", f"{row.avg_imbalance:.2%}",
+            ])
+    table = format_table(
+        "Configuration trade-off (k=2, 8 PEs, machine A)",
+        ["graph", "config", "avg cut", "best cut", "t[ms]", "imbalance"],
+        rows,
+    )
+    return table + (
+        "Expected ordering per instance: time(minimal) < time(fast) < time(eco) "
+        "and cut(eco) <= cut(fast) <= cut(minimal) up to seed noise.\n"
+    )
+
+
+def test_config_tradeoff(run_once):
+    report = run_once(run_experiment)
+    write_report("config_tradeoff", report)
+    assert "eco" in report

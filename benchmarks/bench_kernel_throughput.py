@@ -1,0 +1,49 @@
+"""Kernel microbenchmarks: throughput of the two O(n + m) hot paths.
+
+Not a paper artifact — a performance-regression guard for the library's
+kernels, in the spirit of the optimisation guides (measure first):
+
+* the label-propagation scan (the irreducibly sequential per-node loop);
+* the contraction group-by (pure vectorised NumPy).
+
+Reported numbers are edges/second on a mid-sized web graph.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.label_propagation import label_propagation_clustering
+from repro.generators import web_copy_graph
+from repro.graph import contract
+
+
+GRAPH = web_copy_graph(8192, out_degree=10, seed=0)
+
+
+def test_label_propagation_throughput(benchmark):
+    rng = np.random.default_rng(0)
+
+    def run():
+        return label_propagation_clustering(GRAPH, 64, 1, rng)
+
+    labels = benchmark.pedantic(run, rounds=3, iterations=1)
+    rate = GRAPH.num_arcs / benchmark.stats.stats.mean
+    print(f"\nLP scan: {rate / 1e6:.2f} M arc-visits/s "
+          f"({GRAPH.num_arcs:,} arcs per round)")
+    assert labels.shape == (GRAPH.num_nodes,)
+    assert rate > 1e5  # regression guard: at least 0.1 M arcs/s
+
+
+def test_contraction_throughput(benchmark):
+    rng = np.random.default_rng(1)
+    labels = rng.integers(0, GRAPH.num_nodes // 50, size=GRAPH.num_nodes)
+
+    def run():
+        return contract(GRAPH, labels)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    rate = GRAPH.num_arcs / benchmark.stats.stats.mean
+    print(f"\ncontract: {rate / 1e6:.2f} M arcs/s")
+    assert result.coarse.num_nodes <= GRAPH.num_nodes // 50 + 1
+    assert rate > 1e6  # vectorised kernel: at least 1 M arcs/s

@@ -1,0 +1,43 @@
+"""E1 — Table I: properties of the benchmark set (scaled stand-ins).
+
+Regenerates the instance table: for every row of the paper's Table I,
+the stand-in's size, class, degree statistics, and the scale factor to
+the original.
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_table, write_report
+from repro.graph import degree_statistics
+from repro.generators import INSTANCES, load_instance
+
+
+def build_table() -> str:
+    rows = []
+    for name, inst in INSTANCES.items():
+        graph = load_instance(name, seed=0)
+        stats = degree_statistics(graph)
+        rows.append([
+            name,
+            inst.kind,
+            inst.group,
+            f"{graph.num_nodes:,}",
+            f"{graph.num_edges:,}",
+            f"{stats.mean_degree:.1f}",
+            f"{stats.max_degree}",
+            f"{inst.paper_nodes:.2g}",
+            f"{inst.paper_edges:.2g}",
+            f"{inst.paper_edges / graph.num_edges:,.0f}x",
+        ])
+    return format_table(
+        "Table I (stand-ins): benchmark set properties",
+        ["graph", "type", "group", "n", "m", "avg deg", "max deg",
+         "paper n", "paper m", "scale"],
+        rows,
+    )
+
+
+def test_table1_instances(run_once):
+    report = run_once(build_table)
+    write_report("table1_instances", report)
+    assert "uk-2007" in report

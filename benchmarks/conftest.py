@@ -1,0 +1,28 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every ``bench_*.py`` module regenerates one table or figure of the paper
+(see DESIGN.md, experiment index).  Conventions:
+
+* each experiment runs once under ``benchmark.pedantic(rounds=1)`` — the
+  interesting measurements are the *simulated* times and cut values the
+  experiment itself reports, not the harness wall-clock;
+* every experiment writes its report to ``benchmarks/results/<exp>.txt``
+  (and prints it), so ``pytest benchmarks/ --benchmark-only`` leaves the
+  full set of regenerated tables on disk;
+* repetition counts honour ``REPRO_BENCH_SEEDS`` (default 3; the paper
+  uses 10 — set the variable for a closer protocol at more wall-clock).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""The memory wall: why ParMetis cannot partition big web graphs.
+
+Replays the paper's Table II failure story end to end at paper-scale
+memory accounting: for each of the three hardest instances, run the
+ParMetis-like baseline and ParHIP under the machine-A memory model and
+watch the baseline die replicating its barely-coarsened graph while
+ParHIP's cluster contraction sails through.
+
+Run:  python examples/memory_wall.py
+"""
+
+from __future__ import annotations
+
+from repro.baselines import parmetis_partition
+from repro.bench import memory_scale_for, replica_scale_for
+from repro.core import fast_config
+from repro.dist import parallel_partition
+from repro.generators import INSTANCES, load_instance
+from repro.perf import MACHINE_A, OutOfMemoryError
+
+PES = 32
+
+
+def main() -> None:
+    print(f"Machine A memory model: {MACHINE_A.memory_per_node_bytes/1e9:.0f} GB "
+          f"shared by {PES} PEs -> {MACHINE_A.memory_per_pe(PES)/1e9:.0f} GB per PE.")
+    print("All byte counts are extrapolated to the paper's instance sizes.\n")
+
+    for name in ("arabic-2005", "sk-2005", "uk-2007"):
+        graph = load_instance(name)
+        scale = memory_scale_for(name, graph)
+        paper_m = INSTANCES[name].paper_edges
+        print(f"=== {name} (paper: {paper_m:.2g} edges) ===")
+
+        try:
+            pm = parmetis_partition(
+                graph, 2, num_pes=PES, machine=MACHINE_A, seed=0,
+                memory_budget=MACHINE_A.memory_per_pe(PES), memory_scale=scale,
+            )
+            print(f"  parmetis-like : cut={pm.cut:,} (unexpectedly fit)")
+        except OutOfMemoryError as exc:
+            shrink = "matching stalled"
+            print(f"  parmetis-like : OUT OF MEMORY — {exc.what} needs "
+                  f"{exc.requested/1e9:.0f} GB > {exc.budget/1e9:.0f} GB budget "
+                  f"({shrink})")
+
+        res = parallel_partition(
+            graph, fast_config(k=2, social=True), num_pes=8, machine=MACHINE_A,
+            seed=0,
+            memory_budget=MACHINE_A.memory_per_pe(PES) * PES / 8,
+            memory_scale=scale,
+            replica_memory_scale=replica_scale_for(name, graph),
+        )
+        print(f"  parhip fast   : cut={res.cut:,} imbalance={res.imbalance:.2%} "
+              f"simulated {res.sim_time*1e3:.0f} ms — coarsening collapsed the "
+              f"graph to {res.coarse_sizes[-1] if res.coarse_sizes else '?'} nodes\n")
+
+    print("The mechanism (paper §V-B): matching contracts at most one edge per")
+    print("hub star, so web graphs shrink <2x before coarsening stalls; the")
+    print("stalled, nearly input-sized coarsest graph is then replicated on")
+    print("every PE for initial partitioning. Cluster contraction shrinks the")
+    print("same graphs ~100x per level, so ParHIP's replica is tiny.")
+
+
+if __name__ == "__main__":
+    main()

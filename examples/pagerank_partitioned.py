@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""PageRank on a partitioned web graph — the paper's motivating workload.
+
+Graph partitioning exists to make parallel graph algorithms cheap: the
+paper's introduction names PageRank as *the* example.  This script makes
+the payoff measurable end to end:
+
+1. generate a web-crawl stand-in;
+2. partition it three ways (hash, ParMetis-like, ParHIP fast);
+3. for each partition, relabel the graph so blocks own contiguous node
+   ranges, distribute it over the simulated runtime, and run 15 real
+   PageRank power iterations where every superstep's ghost exchange goes
+   through the simulated network;
+4. report the per-iteration communication volume and simulated time.
+
+The ranking produced is identical for all three partitions (PageRank
+does not care how the graph is laid out) — only the communication bill
+changes, and it changes the way the paper promises.
+
+Run:  python examples/pagerank_partitioned.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import hash_partition, parmetis_partition
+from repro.dist import DistGraph, run_spmd
+from repro.generators import web_copy_graph
+from repro.graph import permute
+from repro.metrics import communication_volume, edge_cut
+from repro.perf import MACHINE_B
+from repro import partition_graph
+
+NUM_PES = 8
+ITERATIONS = 15
+DAMPING = 0.85
+
+
+def pagerank_program(comm, graph, vtxdist):
+    """SPMD PageRank: one halo exchange per power iteration."""
+    dgraph = DistGraph.from_global(graph, vtxdist, comm.rank)
+    n = dgraph.n_global
+    # degree of every node we can see (owned + ghost), for the division
+    degree = np.zeros(dgraph.n_total, dtype=np.float64)
+    degree[: dgraph.n_local] = np.maximum(dgraph.degrees, 1)
+    dgraph.halo_exchange(comm, degree)
+
+    rank_value = np.full(dgraph.n_total, 1.0 / n)
+    src = dgraph.arc_sources()
+    for _ in range(ITERATIONS):
+        contrib = rank_value / degree
+        incoming = np.zeros(dgraph.n_local, dtype=np.float64)
+        np.add.at(incoming, src, contrib[dgraph.adjncy])
+        comm.work(dgraph.num_arcs)
+        rank_value[: dgraph.n_local] = (1 - DAMPING) / n + DAMPING * incoming
+        dgraph.halo_exchange(comm, rank_value)
+    return rank_value[: dgraph.n_local]
+
+
+def run_with_partition(graph, partition, label):
+    """Relabel blocks to contiguous ranges, run PageRank, report costs."""
+    order = np.argsort(partition, kind="stable")
+    arranged, old_to_new = permute(graph, order)
+    counts = np.bincount(partition, minlength=NUM_PES)
+    vtxdist = np.zeros(NUM_PES + 1, dtype=np.int64)
+    np.cumsum(counts, out=vtxdist[1:])
+
+    result = run_spmd(NUM_PES, pagerank_program, arranged, vtxdist,
+                      machine=MACHINE_B, seed=0)
+    ranks = np.concatenate(result.per_rank)
+    # undo the relabeling so rankings are comparable across partitions:
+    # old node o became new node old_to_new[o]
+    restored = ranks[old_to_new]
+
+    cut = edge_cut(graph, partition)
+    volume = communication_volume(graph, partition)
+    print(f"  {label:14s} cut={cut:>8,}  comm-volume={volume:>8,}  "
+          f"bytes-sent={result.total_bytes_sent:>12,}  "
+          f"simulated={result.sim_time * 1e3:7.2f} ms")
+    return restored
+
+
+def main() -> None:
+    print(f"Generating web graph and running {ITERATIONS} PageRank iterations "
+          f"on {NUM_PES} simulated PEs per partitioning scheme ...")
+    graph = web_copy_graph(6144, out_degree=10, seed=7)
+    print(f"  {graph}\n")
+
+    hashed = hash_partition(graph, NUM_PES, seed=7).partition
+    parmetis = parmetis_partition(graph, NUM_PES, seed=7).partition
+    parhip = partition_graph(graph, k=NUM_PES, preset="fast", num_pes=4, seed=7).partition
+
+    print("Communication bill per scheme:")
+    r1 = run_with_partition(graph, hashed, "hash")
+    r2 = run_with_partition(graph, parmetis, "parmetis-like")
+    r3 = run_with_partition(graph, parhip, "parhip-fast")
+
+    # sanity: the partitioning must not change the ranking
+    assert np.allclose(r1, r2, atol=1e-12) and np.allclose(r1, r3, atol=1e-12)
+    top = np.argsort(r1)[::-1][:5]
+    print("\nTop-5 pages by PageRank (identical under every partition):")
+    for v in top:
+        print(f"  node {v:6d}  rank {r1[v]:.6f}  degree {graph.degree(int(v))}")
+
+
+if __name__ == "__main__":
+    main()

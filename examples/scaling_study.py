@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Mini scaling study: the shapes behind Figures 5 and 6, in one script.
+
+Runs a strong-scaling sweep of the fast configuration on one mesh and one
+web-graph stand-in, prints the simulated total time, speedup, efficiency,
+and the phase breakdown — and renders a small ASCII speedup chart.
+
+Run:  python examples/scaling_study.py
+"""
+
+from __future__ import annotations
+
+from repro.core import fast_config
+from repro.dist import parallel_partition
+from repro.generators import delaunay, load_instance
+from repro.perf import MACHINE_B
+
+PES = (1, 2, 4, 8, 16)
+
+
+def sweep(graph, social: bool, label: str) -> None:
+    print(f"\n{label}: {graph}")
+    header = f"{'p':>3} | {'time[ms]':>9} | {'speedup':>7} | {'eff':>5} | " \
+             f"{'coarsen':>8} | {'initial':>8} | {'refine':>8} | cut"
+    print(header)
+    print("-" * len(header))
+    t1 = None
+    speedups = []
+    for p in PES:
+        res = parallel_partition(
+            graph, fast_config(k=16, social=social), num_pes=p,
+            machine=MACHINE_B, seed=0,
+        )
+        if t1 is None:
+            t1 = res.sim_time
+        speedup = t1 / res.sim_time if res.sim_time else 0.0
+        speedups.append(speedup)
+        pt = res.phase_times
+        print(f"{p:>3} | {res.sim_time * 1e3:>9.2f} | {speedup:>7.2f} | "
+              f"{speedup / p:>5.2f} | {pt['coarsening'] * 1e3:>8.2f} | "
+              f"{pt['initial'] * 1e3:>8.2f} | {pt['refinement'] * 1e3:>8.2f} | "
+              f"{res.cut:,}")
+
+    print("\n   speedup:")
+    top = max(speedups)
+    for p, s in zip(PES, speedups):
+        bar = "#" * max(1, int(30 * s / top))
+        print(f"   p={p:<3} {bar} {s:.2f}x")
+
+
+def main() -> None:
+    print("Strong scaling of the fast configuration (simulated machine B, k=16).")
+    print("Times are the machine model's simulated seconds, not wall-clock;")
+    print("see DESIGN.md for the cost model.")
+    sweep(delaunay(13, seed=0), social=False, label="mesh: del13")
+    sweep(load_instance("uk-2002"), social=True, label="web: uk-2002 stand-in")
+
+
+if __name__ == "__main__":
+    main()

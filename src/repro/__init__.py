@@ -1,0 +1,47 @@
+"""repro — reproduction of *Parallel Graph Partitioning for Complex Networks*.
+
+The package implements the ParHIP system (Meyerhenke, Sanders, Schulz,
+IPDPS 2015) in pure Python on top of a simulated distributed-memory
+runtime:
+
+* :mod:`repro.graph` — CSR graph substrate, I/O, contraction;
+* :mod:`repro.generators` — benchmark graph generators (Table I stand-ins);
+* :mod:`repro.metrics` — cut / balance / communication-volume metrics;
+* :mod:`repro.core` — sequential size-constrained label propagation and
+  the cluster-contraction multilevel partitioner;
+* :mod:`repro.kaffpa` — sequential multilevel engine (matching
+  coarsening, initial partitioning, FM refinement);
+* :mod:`repro.evolutionary` — the distributed evolutionary algorithm
+  KaFFPaE used on the coarsest level;
+* :mod:`repro.dist` — the simulated MPI runtime, the distributed graph,
+  and the **parallel** partitioner (the paper's main contribution);
+* :mod:`repro.perf` — machine/time/memory models for the scaling studies;
+* :mod:`repro.baselines` — ParMetis-like and other comparison codes;
+* :mod:`repro.bench` — experiment harness regenerating each table/figure.
+
+Quickstart::
+
+    from repro import generators, partition_graph
+
+    g = generators.rgg(14, seed=1)              # 2^14-node random geometric graph
+    result = partition_graph(g, k=16, seed=1)   # ParHIP 'fast' configuration
+    print(result.cut, result.imbalance)
+"""
+
+from .version import __version__
+
+__all__ = ["__version__", "partition_graph", "PartitionResult"]
+
+
+def __getattr__(name):
+    # Lazy imports keep `import repro` light and avoid import cycles while
+    # still exposing the headline API at the top level.
+    if name == "partition_graph":
+        from .api import partition_graph
+
+        return partition_graph
+    if name == "PartitionResult":
+        from .api import PartitionResult
+
+        return PartitionResult
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

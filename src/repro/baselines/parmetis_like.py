@@ -1,0 +1,182 @@
+"""ParMetis-like baseline: parallel matching-based multilevel partitioning.
+
+A faithful re-implementation of the algorithmic skeleton of ParMetis
+(Karypis & Kumar 1996), the comparison system of every table and figure:
+
+* **coarsening** — heavy-edge matching levels.  On mesh networks each
+  level nearly halves the graph; on complex networks matching stalls
+  (a hub star yields one matched edge), so coarsening is *stopped early*
+  when the reduction factor degrades — exactly the paper's diagnosis
+  ("ParMetis cannot coarsen the graphs effectively so that the coarsening
+  phase is stopped too early");
+* **initial partitioning** — the coarsest graph is *replicated on every
+  PE* and partitioned with recursive bisection.  The replication is
+  charged against the per-PE memory budget: with an ineffectively
+  coarsened web graph the replica is nearly input-sized and the run
+  raises :class:`~repro.perf.memory.OutOfMemoryError` — the ``*`` entries
+  of Tables II/III;
+* **uncoarsening** — greedy k-way boundary refinement per level.
+  ParMetis relaxes the balance constraint on hard instances; we mimic
+  that by retrying with a relaxed bound when refinement cannot achieve
+  ``Lmax`` (the paper observes up to 6 % imbalance from ParMetis).
+
+Timing uses the bulk-synchronous :class:`~repro.baselines.common.CostLedger`;
+the per-edge constant is set below ours (ParMetis's C core is faster per
+edge than label propagation — the paper's mesh rows show ParMetis ahead
+on running time).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import Graph
+from ..graph.validation import max_block_weight_bound
+from ..kaffpa.fm import fm_bisection_refine
+from ..kaffpa.initial import best_of, recursive_bisection
+from ..kaffpa.kway_fm import greedy_kway_refine
+from ..kaffpa.matching import match_and_contract
+from ..perf.machine import SERIAL, Machine
+from ..perf.memory import MemoryBudget, estimate_graph_bytes
+from .common import BaselineResult, CostLedger
+
+__all__ = ["ParmetisOptions", "parmetis_partition"]
+
+# ParMetis's compiled kernels are ~4x cheaper per edge than our Python-
+# modelled LP constant; expressed as a multiplier on machine work units.
+_WORK_FACTOR_MATCH = 0.25
+_WORK_FACTOR_REFINE = 0.35
+_WORK_FACTOR_INITIAL = 1.0
+
+
+class ParmetisOptions:
+    """Knobs of the ParMetis-like baseline."""
+
+    def __init__(
+        self,
+        coarsest_nodes: int = 150,
+        refinement_passes: int = 3,
+        initial_attempts: int = 6,
+        stall_factor: float = 0.7,
+        max_levels: int = 50,
+    ) -> None:
+        self.coarsest_nodes = coarsest_nodes
+        self.refinement_passes = refinement_passes
+        self.initial_attempts = initial_attempts
+        #: stop coarsening once a level shrinks by less than this factor —
+        #: the "stopped too early" behaviour on complex networks
+        self.stall_factor = stall_factor
+        self.max_levels = max_levels
+
+
+def parmetis_partition(
+    graph: Graph,
+    k: int,
+    epsilon: float = 0.03,
+    num_pes: int = 1,
+    machine: Machine | None = None,
+    seed: int = 0,
+    options: ParmetisOptions | None = None,
+    memory_budget: float | None = None,
+    memory_scale: float = 1.0,
+) -> BaselineResult:
+    """Run the ParMetis-like baseline; may raise ``OutOfMemoryError``."""
+    options = options or ParmetisOptions()
+    machine = machine or SERIAL
+    rng = np.random.default_rng(seed)
+    ledger = CostLedger(machine, num_pes)
+    budget = (
+        MemoryBudget(memory_budget, scale=memory_scale)
+        if memory_budget is not None
+        else None
+    )
+    lmax = max_block_weight_bound(graph, k, epsilon)
+    max_node_weight = max(int(graph.vwgt.max(initial=1)), int(lmax / 1.3))
+
+    if budget is not None:
+        # the input is distributed: each PE holds its 1/p share
+        budget.charge(
+            estimate_graph_bytes(graph.num_nodes, graph.num_edges) / num_pes,
+            "input subgraph",
+        )
+
+    # ------------------------------------------------------------------
+    # Matching-based coarsening (stops early when it stalls)
+    # ------------------------------------------------------------------
+    levels: list[tuple[Graph, np.ndarray]] = []
+    coarse_sizes: list[int] = []
+    current = graph
+    target = max(options.coarsest_nodes, 4 * k)
+    while current.num_nodes > target and len(levels) < options.max_levels:
+        result = match_and_contract(current, rng, max_node_weight=max_node_weight)
+        ledger.parallel_work(_WORK_FACTOR_MATCH * current.num_arcs)
+        ledger.collectives(3)
+        if result.coarse.num_nodes > options.stall_factor * current.num_nodes:
+            break  # ineffective coarsening: stop (the paper's diagnosis)
+        levels.append((current, result.fine_to_coarse))
+        current = result.coarse
+        coarse_sizes.append(current.num_nodes)
+        if budget is not None:
+            budget.charge(
+                estimate_graph_bytes(current.num_nodes, current.num_edges) / num_pes,
+                "coarse level",
+            )
+
+    # ------------------------------------------------------------------
+    # Initial partitioning on a fully replicated coarsest graph
+    # ------------------------------------------------------------------
+    if budget is not None:
+        budget.charge(
+            estimate_graph_bytes(current.num_nodes, current.num_edges),
+            "replicated coarsest graph",
+        )
+    partition = best_of(
+        current,
+        k,
+        epsilon,
+        rng,
+        attempts=options.initial_attempts,
+        partitioner=lambda g, kk, r: recursive_bisection(g, kk, r),
+    )
+    ledger.serial_work(
+        _WORK_FACTOR_INITIAL * options.initial_attempts * current.num_arcs
+    )
+    ledger.collective(bytes_received=8.0 * current.num_nodes)
+
+    # ------------------------------------------------------------------
+    # Uncoarsening with greedy boundary refinement
+    # ------------------------------------------------------------------
+    def refine(g: Graph, part: np.ndarray, coarsest: bool = False) -> np.ndarray:
+        refined = greedy_kway_refine(
+            g, part, k, lmax, rng, max_passes=options.refinement_passes
+        )
+        if coarsest and k == 2:
+            # Serial Metis polishes the coarsest bisection with FM; the
+            # per-level distributed refinement stays greedy (real ParMetis
+            # has no global FM on fine levels either).
+            heaviest = int(np.bincount(refined, weights=g.vwgt, minlength=2).max())
+            if heaviest <= lmax:
+                refined = fm_bisection_refine(
+                    g, refined, lmax, rng, max_passes=options.refinement_passes
+                )
+        heaviest = int(np.bincount(refined, weights=g.vwgt, minlength=k).max())
+        if heaviest > lmax:
+            # ParMetis's relaxation: allow up to ~6 % imbalance rather
+            # than fail the refinement pass.
+            relaxed = max_block_weight_bound(g, k, max(epsilon, 0.06))
+            refined = greedy_kway_refine(
+                g, refined, k, relaxed, rng, max_passes=options.refinement_passes
+            )
+        return refined
+
+    partition = refine(current, partition, coarsest=True)
+    for fine, mapping in reversed(levels):
+        partition = partition[mapping]
+        partition = refine(fine, partition)
+        ledger.parallel_work(_WORK_FACTOR_REFINE * fine.num_arcs)
+        ledger.collectives(2, bytes_received=8.0 * k)
+
+    return BaselineResult.build(
+        "parmetis-like", graph, partition, k, ledger.seconds, num_pes,
+        tuple(coarse_sizes),
+    )

@@ -1,0 +1,23 @@
+"""Benchmark harness: runners and table/series formatters."""
+
+from .runner import (
+    AggregatedRow,
+    bench_seeds,
+    geometric_mean,
+    memory_scale_for,
+    replica_scale_for,
+    run_algorithm,
+)
+from .tables import format_series, format_table, write_report
+
+__all__ = [
+    "AggregatedRow",
+    "bench_seeds",
+    "format_series",
+    "format_table",
+    "geometric_mean",
+    "memory_scale_for",
+    "replica_scale_for",
+    "run_algorithm",
+    "write_report",
+]

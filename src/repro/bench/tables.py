@@ -1,0 +1,65 @@
+"""ASCII table / series formatting for the experiment reports."""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Sequence
+
+__all__ = ["format_table", "format_series", "write_report"]
+
+
+def format_table(
+    title: str,
+    header: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    footer: Sequence[str] | None = None,
+) -> str:
+    """Fixed-width ASCII table with a title line."""
+    columns = [list(col) for col in zip(header, *rows, *( [footer] if footer else [] ))]
+    widths = [max(len(str(cell)) for cell in col) for col in columns]
+
+    def fmt_line(cells: Sequence[str]) -> str:
+        return " | ".join(str(c).rjust(w) for c, w in zip(cells, widths))
+
+    out = io.StringIO()
+    out.write(title + "\n")
+    out.write(fmt_line(header) + "\n")
+    out.write("-+-".join("-" * w for w in widths) + "\n")
+    for row in rows:
+        out.write(fmt_line(row) + "\n")
+    if footer:
+        out.write("-+-".join("-" * w for w in widths) + "\n")
+        out.write(fmt_line(footer) + "\n")
+    return out.getvalue()
+
+
+def format_series(title: str, x_label: str, series: dict[str, dict]) -> str:
+    """Tabulate several named series over a shared x-axis (figures).
+
+    ``series`` maps series name -> {x: value or None}; missing points
+    print as '-' and None (e.g. OOM) as '*'.
+    """
+    xs = sorted({x for points in series.values() for x in points})
+    header = [x_label] + list(series)
+    rows = []
+    for x in xs:
+        row = [str(x)]
+        for name in series:
+            if x not in series[name]:
+                row.append("-")
+            else:
+                value = series[name][x]
+                row.append("*" if value is None else f"{value:.4g}")
+        rows.append(row)
+    return format_table(title, header, rows)
+
+
+def write_report(name: str, content: str, results_dir: str | Path | None = None) -> Path:
+    """Print a report and persist it under ``benchmarks/results``."""
+    base = Path(results_dir) if results_dir else Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+    base.mkdir(parents=True, exist_ok=True)
+    path = base / f"{name}.txt"
+    path.write_text(content, encoding="utf-8")
+    print(f"\n{content}\n[written to {path}]")
+    return path

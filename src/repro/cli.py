@@ -1,0 +1,198 @@
+"""Command-line interface.
+
+Mirrors the ergonomics of the real tools (``parhip``, ``kaffpa``)::
+
+    python -m repro partition graph.metis -k 8 --preset fast -o graph.part
+    python -m repro generate rgg --exponent 12 -o rgg12.metis
+    python -m repro evaluate graph.metis graph.part -k 8
+    python -m repro cluster graph.metis -o clusters.txt
+    python -m repro instances
+
+Graphs are read by extension: ``.metis``/``.graph`` (METIS format),
+``.dimacs``/``.col`` (DIMACS), ``.npz`` (native), anything else is tried
+as an edge list.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+
+from . import generators
+from .api import partition_graph
+from .core.clustering import cluster_graph
+from .graph import (
+    Graph,
+    load_npz,
+    read_dimacs,
+    read_edge_list,
+    read_metis,
+    read_partition,
+    save_npz,
+    write_metis,
+    write_partition,
+)
+from .metrics import evaluate_partition
+from .perf import MACHINE_A, MACHINE_B
+
+__all__ = ["main"]
+
+_MACHINES = {"A": MACHINE_A, "B": MACHINE_B}
+
+
+def _load_graph(path: str) -> Graph:
+    suffix = Path(path).suffix.lower()
+    if suffix in (".metis", ".graph"):
+        return read_metis(path)
+    if suffix in (".dimacs", ".col"):
+        return read_dimacs(path)
+    if suffix == ".npz":
+        return load_npz(path)
+    return read_edge_list(path)
+
+
+def _save_graph(graph: Graph, path: str) -> None:
+    suffix = Path(path).suffix.lower()
+    if suffix == ".npz":
+        save_npz(graph, path)
+    else:
+        write_metis(graph, path)
+
+
+def _cmd_partition(args: argparse.Namespace) -> int:
+    from .core.config import eco_config, fast_config, minimal_config
+
+    graph = _load_graph(args.graph)
+    factory = {"fast": fast_config, "eco": eco_config, "minimal": minimal_config}
+    config = factory[args.preset](
+        k=args.k,
+        epsilon=args.epsilon,
+        flow_refinement=args.flows,
+        cycle_type=args.cycle,
+    )
+    initial = read_partition(args.initial_partition) if args.initial_partition else None
+    result = partition_graph(
+        graph,
+        k=args.k,
+        num_pes=args.num_pes,
+        machine=_MACHINES[args.machine],
+        seed=args.seed,
+        config=config,
+        initial_partition=initial,
+    )
+    print(result.quality.summary())
+    if result.sim_time is not None:
+        print(f"simulated time: {result.sim_time * 1e3:.2f} ms "
+              f"({result.num_pes} PEs, machine {args.machine})")
+    if args.output:
+        write_partition(result.partition, args.output)
+        print(f"partition written to {args.output}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.family in ("rgg", "del"):
+        graph = generators.family_instance(args.family, args.exponent, seed=args.seed)
+    elif args.family == "web":
+        graph = generators.web_copy_graph(args.nodes, seed=args.seed)
+    elif args.family == "social":
+        graph = generators.powerlaw_cluster(args.nodes, seed=args.seed)
+    elif args.family == "grid":
+        side = int(round(args.nodes ** 0.5))
+        graph = generators.grid_2d(side, side)
+    else:  # registry instance
+        graph = generators.load_instance(args.family, seed=args.seed)
+    _save_graph(graph, args.output)
+    print(f"{graph} -> {args.output}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    partition = read_partition(args.partition)
+    k = args.k or int(partition.max()) + 1
+    quality = evaluate_partition(graph, partition, k)
+    print(quality.summary())
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    result = cluster_graph(graph, seed=args.seed)
+    print(f"clusters={result.num_clusters} modularity={result.modularity:.4f} "
+          f"levels={result.levels}")
+    if args.output:
+        write_partition(result.clustering, args.output)
+        print(f"clustering written to {args.output}")
+    return 0
+
+
+def _cmd_instances(_args: argparse.Namespace) -> int:
+    print(f"{'name':14s} {'type':4s} {'group':6s} {'paper n':>10s} {'paper m':>10s}")
+    for name, inst in generators.INSTANCES.items():
+        print(f"{name:14s} {inst.kind:4s} {inst.group:6s} "
+              f"{inst.paper_nodes:>10.2g} {inst.paper_edges:>10.2g}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ParHIP reproduction: parallel graph partitioning for complex networks",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("partition", help="partition a graph")
+    p.add_argument("graph")
+    p.add_argument("-k", type=int, required=True, help="number of blocks")
+    p.add_argument("--epsilon", type=float, default=0.03)
+    p.add_argument("--preset", choices=("minimal", "fast", "eco"), default="fast")
+    p.add_argument("--num-pes", type=int, default=1, dest="num_pes")
+    p.add_argument("--machine", choices=("A", "B"), default="B")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--flows", action="store_true",
+                   help="enable flow-based refinement in the EA engine")
+    p.add_argument("--cycle", choices=("V", "W"), default="V",
+                   help="multilevel cycle shape")
+    p.add_argument("--initial-partition", dest="initial_partition",
+                   help="warm-start partition file (one block id per line)")
+    p.add_argument("-o", "--output")
+    p.set_defaults(func=_cmd_partition)
+
+    g = sub.add_parser("generate", help="generate a benchmark graph")
+    g.add_argument("family",
+                   help="rgg | del | web | social | grid | <registry instance name>")
+    g.add_argument("--exponent", type=int, default=10, help="for rgg/del: 2^X nodes")
+    g.add_argument("--nodes", type=int, default=4096)
+    g.add_argument("--seed", type=int, default=0)
+    g.add_argument("-o", "--output", required=True)
+    g.set_defaults(func=_cmd_generate)
+
+    e = sub.add_parser("evaluate", help="score an existing partition")
+    e.add_argument("graph")
+    e.add_argument("partition")
+    e.add_argument("-k", type=int, default=None)
+    e.set_defaults(func=_cmd_evaluate)
+
+    c = sub.add_parser("cluster", help="modularity clustering")
+    c.add_argument("graph")
+    c.add_argument("--seed", type=int, default=0)
+    c.add_argument("-o", "--output")
+    c.set_defaults(func=_cmd_cluster)
+
+    i = sub.add_parser("instances", help="list the Table I instance registry")
+    i.set_defaults(func=_cmd_instances)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

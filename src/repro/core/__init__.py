@@ -1,0 +1,40 @@
+"""The paper's primary contribution: size-constrained label propagation
+and the cluster-contraction multilevel partitioner (sequential form)."""
+
+from .clustering import ClusteringResult, cluster_graph, modularity_local_moving
+from .coarsening import Hierarchy, HierarchyLevel, coarsen
+from .config import PartitionConfig, eco_config, fast_config, minimal_config
+from .label_propagation import (
+    label_propagation_clustering,
+    label_propagation_refinement,
+    size_constrained_label_propagation,
+    visit_order,
+)
+from .multilevel import detect_social, multilevel_partition
+from .partitioner import SequentialResult, sequential_partition
+from .projection import project_partition
+from .vcycle import VcycleTrace, iterated_vcycles
+
+__all__ = [
+    "ClusteringResult",
+    "Hierarchy",
+    "HierarchyLevel",
+    "PartitionConfig",
+    "cluster_graph",
+    "modularity_local_moving",
+    "SequentialResult",
+    "VcycleTrace",
+    "coarsen",
+    "detect_social",
+    "eco_config",
+    "fast_config",
+    "iterated_vcycles",
+    "label_propagation_clustering",
+    "label_propagation_refinement",
+    "minimal_config",
+    "multilevel_partition",
+    "project_partition",
+    "sequential_partition",
+    "size_constrained_label_propagation",
+    "visit_order",
+]

@@ -1,0 +1,119 @@
+"""Cluster-contraction coarsening: build the multilevel hierarchy.
+
+Repeatedly cluster the current graph with size-constrained label
+propagation and contract the clustering (Section III).  Coarsening stops
+when the graph is small enough for initial partitioning
+(``coarsest_nodes_per_block * k`` nodes) or when a level fails to shrink
+the graph (complex networks shrink by orders of magnitude per level;
+meshes shrink slowly — both behaviours are measured in the
+coarsening-effectiveness bench).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.csr import Graph
+from ..graph.quotient import contract
+from ..graph.validation import max_block_weight_bound
+from .config import PartitionConfig
+from .label_propagation import label_propagation_clustering
+
+__all__ = ["HierarchyLevel", "Hierarchy", "coarsen"]
+
+
+@dataclass(frozen=True)
+class HierarchyLevel:
+    """One coarsening step: ``fine`` was contracted into ``coarse``."""
+
+    fine: Graph
+    coarse: Graph
+    fine_to_coarse: np.ndarray
+
+    @property
+    def shrink_factor(self) -> float:
+        """``n_coarse / n_fine`` (small is good)."""
+        return self.coarse.num_nodes / max(1, self.fine.num_nodes)
+
+
+@dataclass(frozen=True)
+class Hierarchy:
+    """The full multilevel hierarchy, finest first."""
+
+    levels: tuple[HierarchyLevel, ...]
+    finest: Graph
+
+    @property
+    def coarsest(self) -> Graph:
+        return self.levels[-1].coarse if self.levels else self.finest
+
+    @property
+    def depth(self) -> int:
+        return len(self.levels)
+
+    def project_to_finest(self, coarse_partition: np.ndarray) -> np.ndarray:
+        """Map a coarsest-level partition all the way down to the input graph."""
+        partition = np.asarray(coarse_partition, dtype=np.int64)
+        for level in reversed(self.levels):
+            partition = partition[level.fine_to_coarse]
+        return partition
+
+
+def coarsen(
+    graph: Graph,
+    config: PartitionConfig,
+    rng: np.random.Generator,
+    cluster_factor: float,
+    constraint: np.ndarray | None = None,
+) -> Hierarchy:
+    """Build the cluster-contraction hierarchy for one V-cycle.
+
+    Parameters
+    ----------
+    cluster_factor:
+        The factor ``f``; the cluster bound is ``U = Lmax / f``.
+    constraint:
+        Optional input partition (iterated V-cycles): clusters never span
+        two of its blocks, so its cut edges are never contracted.
+    """
+    lmax = max_block_weight_bound(graph, config.k, config.epsilon)
+    # Floor of 2: at our scaled-down instance sizes the paper's mesh factor
+    # f = 20 000 would otherwise drop the bound to 1 (singleton clusters,
+    # no coarsening).  A bound of 2 degenerates gracefully to pairwise
+    # (matching-like) contraction, the behaviour f = 20 000 produces at
+    # the paper's billion-edge scale.
+    max_cluster_weight = max(2, int(lmax / cluster_factor))
+    target = config.coarsest_target()
+
+    levels: list[HierarchyLevel] = []
+    current = graph
+    current_constraint = constraint
+    while current.num_nodes > target:
+        # Let the bound track coarse node growth (at least a pairwise
+        # merge must stay possible each level) but cap it well below Lmax:
+        # coarse nodes near Lmax would make balanced initial partitioning
+        # a bin-packing problem with no feasible solution at small eps.
+        cap = max(2, lmax // 4)
+        level_bound = min(
+            max(max_cluster_weight, 2 * int(current.vwgt.max(initial=1))), cap
+        )
+        labels = label_propagation_clustering(
+            current,
+            max_cluster_weight=level_bound,
+            iterations=config.coarsening_iterations,
+            rng=rng,
+            ordering=config.coarsening_ordering,
+            constraint=current_constraint,
+        )
+        result = contract(current, labels)
+        if result.coarse.num_nodes >= config.min_shrink_factor * current.num_nodes:
+            break  # ineffective level: stop rather than loop forever
+        levels.append(HierarchyLevel(current, result.coarse, result.fine_to_coarse))
+        if current_constraint is not None:
+            projected = np.zeros(result.coarse.num_nodes, dtype=np.int64)
+            projected[result.fine_to_coarse] = current_constraint
+            current_constraint = projected
+        current = result.coarse
+    return Hierarchy(tuple(levels), graph)

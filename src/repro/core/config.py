@@ -1,0 +1,116 @@
+"""Algorithm configurations: the paper's *fast*, *eco* and *minimal* presets.
+
+Section V-A defines two "good" choices plus a minimal variant:
+
+* **fast** — 3 label-propagation iterations during coarsening, 6 during
+  refinement, evolutionary algorithm only builds the initial population,
+  2 V-cycles;
+* **eco** — same iteration counts, 5 V-cycles, and the evolutionary
+  algorithm gets a real optimisation budget (the paper gives it
+  ``t_p = t_1 / p`` seconds; we budget *rounds* instead, since simulated
+  seconds are not wall-clock);
+* **minimal** — like fast but a single V-cycle (used once in the paper,
+  for the 16-second uk-2007 partition).
+
+The size-constraint factor ``f`` (cluster bound ``U = Lmax / f``) is 14 on
+social/web graphs, 20 000 on mesh networks during the first V-cycle, and a
+random value in ``[10, 25]`` in later V-cycles for diversification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+__all__ = ["PartitionConfig", "fast_config", "eco_config", "minimal_config"]
+
+
+@dataclass(frozen=True)
+class PartitionConfig:
+    """Tuning parameters of the multilevel partitioner."""
+
+    k: int = 2
+    epsilon: float = 0.03
+    #: label-propagation iterations per coarsening level (paper: 3)
+    coarsening_iterations: int = 3
+    #: label-propagation iterations per refinement level (paper: 6)
+    refinement_iterations: int = 6
+    #: size-constraint factor f on social/web graphs during V-cycle 1
+    cluster_factor_social: float = 14.0
+    #: size-constraint factor f on mesh networks during V-cycle 1
+    cluster_factor_mesh: float = 20_000.0
+    #: f range used in V-cycles after the first (diversification)
+    cluster_factor_later: tuple[float, float] = (10.0, 25.0)
+    #: number of V-cycles (fast: 2, eco: 5, minimal: 1)
+    num_vcycles: int = 2
+    #: stop coarsening once the graph has at most this many nodes per block
+    #: (paper: 10 000; scaled down with our instances)
+    coarsest_nodes_per_block: int = 40
+    #: stop coarsening when one level shrinks the node count by less than
+    #: this factor (coarsening has become ineffective)
+    min_shrink_factor: float = 0.95
+    #: node visiting order during coarsening LP: 'degree' (paper default)
+    #: or 'random' (ablation A1)
+    coarsening_ordering: str = "degree"
+    #: enable KaFFPa's flow-based refinement inside the evolutionary
+    #: engine on the coarsest graph (KaHIP technique, §II-C; costs time,
+    #: helps k-way mesh quality)
+    flow_refinement: bool = False
+    #: multilevel cycle shape: 'V' (paper default) or 'W' — one extra
+    #: protected recursion per level during uncoarsening (reference [34])
+    cycle_type: str = "V"
+    #: W-cycle recursions only trigger on levels at most this large
+    wcycle_node_limit: int = 5_000
+    #: evolutionary optimisation rounds on the coarsest graph at p = 1;
+    #: the budget a run actually gets is divided by the number of PEs, the
+    #: round-based analogue of the paper's t_p = t_1 / p rule.
+    evolution_rounds: int = 0
+    #: individuals per PE in the evolutionary population
+    population_size: int = 4
+    #: treat the input as a social/complex network (picks the f factor);
+    #: ``None`` auto-detects from the degree distribution tail.
+    social: bool | None = None
+    name: str = "fast"
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError("k must be >= 1")
+        if self.epsilon < 0:
+            raise ValueError("epsilon must be >= 0")
+        if self.num_vcycles < 1:
+            raise ValueError("need at least one V-cycle")
+
+    def cluster_factor(self, vcycle: int, social: bool, rng: np.random.Generator) -> float:
+        """The size-constraint factor f for a given V-cycle and graph class."""
+        if vcycle == 0:
+            return self.cluster_factor_social if social else self.cluster_factor_mesh
+        lo, hi = self.cluster_factor_later
+        return float(rng.uniform(lo, hi))
+
+    def coarsest_target(self) -> int:
+        """Coarsening stops at ``coarsest_nodes_per_block * k`` nodes."""
+        return self.coarsest_nodes_per_block * self.k
+
+    def with_(self, **changes) -> "PartitionConfig":
+        """Functional update (frozen dataclass)."""
+        return replace(self, **changes)
+
+
+def fast_config(k: int = 2, epsilon: float = 0.03, **overrides) -> PartitionConfig:
+    """The paper's *fast* configuration."""
+    return PartitionConfig(k=k, epsilon=epsilon, name="fast", **overrides)
+
+
+def eco_config(k: int = 2, epsilon: float = 0.03, **overrides) -> PartitionConfig:
+    """The paper's *eco* configuration: more V-cycles + real EA budget."""
+    defaults = dict(num_vcycles=5, evolution_rounds=8, name="eco")
+    defaults.update(overrides)
+    return PartitionConfig(k=k, epsilon=epsilon, **defaults)
+
+
+def minimal_config(k: int = 2, epsilon: float = 0.03, **overrides) -> PartitionConfig:
+    """The paper's *minimal* variant: a single V-cycle."""
+    defaults = dict(num_vcycles=1, name="minimal")
+    defaults.update(overrides)
+    return PartitionConfig(k=k, epsilon=epsilon, **defaults)

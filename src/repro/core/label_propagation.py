@@ -1,0 +1,361 @@
+"""Sequential size-constrained label propagation (paper Section III-A).
+
+One engine drives both uses of the algorithm:
+
+* **clustering mode** (coarsening): every node starts in its own
+  singleton cluster; the size bound is ``U = max(max_v c(v), Lmax / f)``,
+  which is *soft* — it only has to keep clusters contractible into a
+  balanced partition later;
+* **refinement mode** (uncoarsening): labels are the current partition's
+  block ids, the bound is the *hard* ``Lmax`` of the partitioning
+  problem, and a node in an *overloaded* block must move to its strongest
+  eligible other block (improving balance at the cost of cut).
+
+Shared semantics, exactly as the paper specifies:
+
+* nodes are visited in degree-ascending order during coarsening (small
+  nodes settle before hubs choose) and in random order during refinement;
+* when node ``v`` is visited it moves to the *eligible* block with the
+  strongest connection ``omega({(v, u) : u in N(v) ∩ V_l})``; a block is
+  eligible if adding ``c(v)`` keeps it within the bound; staying put is
+  always allowed (unless evicting);
+* ties are broken uniformly at random;
+* iteration stops after ``iterations`` rounds or when a round moves no
+  node;
+* the optional V-cycle ``constraint`` partition restricts moves so each
+  cluster stays inside one block of the constraint (cut edges of the
+  input partition are then never contracted — Section IV-D).
+
+The inner loop is deliberately written over plain Python lists: for the
+node-at-a-time sequential semantics the algorithm requires, list indexing
+beats NumPy scalar indexing by a large factor (see the hpc-parallel
+optimisation guide: profile first, vectorise what can be vectorised —
+orderings, initialisation — and keep the irreducibly sequential scan
+lean).
+"""
+
+from __future__ import annotations
+
+import random as _pyrandom
+
+import numpy as np
+
+from ..graph.csr import Graph
+
+__all__ = [
+    "size_constrained_label_propagation",
+    "label_propagation_clustering",
+    "label_propagation_refinement",
+    "band_nodes",
+    "visit_order",
+]
+
+
+def band_nodes(graph: Graph, partition: np.ndarray, distance: int) -> np.ndarray:
+    """Nodes within ``distance`` hops of the partition boundary.
+
+    The band-refinement idea of PT-Scotch (paper §II-B: "the involved
+    communication effort is reduced by considering only nodes close to
+    the boundary of the current partitioning"): restricting local search
+    to the band loses almost nothing — improving moves happen at the
+    boundary — while cutting the scan cost on graphs with small cuts.
+    """
+    partition = np.asarray(partition)
+    src = graph.arc_sources()
+    cut_arcs = partition[src] != partition[graph.adjncy]
+    frontier = np.unique(
+        np.concatenate([src[cut_arcs], graph.adjncy[cut_arcs]])
+    )
+    in_band = np.zeros(graph.num_nodes, dtype=bool)
+    in_band[frontier] = True
+    for _ in range(max(0, distance - 1)):
+        if frontier.size == 0:
+            break
+        next_mask = np.zeros(graph.num_nodes, dtype=bool)
+        arc_from_frontier = in_band[src] & ~in_band[graph.adjncy]
+        next_mask[graph.adjncy[arc_from_frontier]] = True
+        frontier = np.flatnonzero(next_mask)
+        in_band |= next_mask
+    return np.flatnonzero(in_band)
+
+
+def visit_order(
+    graph: Graph, ordering: str, rng: np.random.Generator
+) -> np.ndarray:
+    """Node visiting order: ``'degree'`` (ascending, ties by id) or ``'random'``."""
+    if ordering == "degree":
+        return np.argsort(graph.degrees, kind="stable")
+    if ordering == "random":
+        return rng.permutation(graph.num_nodes)
+    raise ValueError(f"unknown ordering {ordering!r}")
+
+
+def size_constrained_label_propagation(
+    graph: Graph,
+    max_block_weight: int,
+    iterations: int,
+    rng: np.random.Generator,
+    labels: np.ndarray | None = None,
+    ordering: str = "degree",
+    refine: bool = False,
+    constraint: np.ndarray | None = None,
+) -> np.ndarray:
+    """Run the size-constrained label-propagation engine.
+
+    Parameters
+    ----------
+    max_block_weight:
+        The bound ``U`` (clustering) or ``Lmax`` (refinement).
+    labels:
+        Initial labels; defaults to singleton clusters.  The array is not
+        modified; a new array is returned.
+    refine:
+        Enables the overloaded-block eviction rule.
+    constraint:
+        Optional partition; moves are restricted to neighbours in the
+        same constraint block (V-cycle rule).
+
+    Returns
+    -------
+    The final label array (dtype int64).
+    """
+    n = graph.num_nodes
+    if labels is None:
+        label_list = list(range(n))
+    else:
+        labels = np.asarray(labels, dtype=np.int64)
+        if labels.shape != (n,):
+            raise ValueError("labels must assign a label to every node")
+        label_list = labels.tolist()
+    if n == 0:
+        return np.asarray(label_list, dtype=np.int64)
+
+    num_labels = (max(label_list) + 1) if label_list else 0
+    weight_list = [0] * num_labels
+    vwgt_list = graph.vwgt.tolist()
+    for v in range(n):
+        weight_list[label_list[v]] += vwgt_list[v]
+
+    xadj = graph.xadj.tolist()
+    adjncy = graph.adjncy.tolist()
+    adjwgt = graph.adjwgt.tolist()
+    constraint_list = None if constraint is None else np.asarray(constraint).tolist()
+    bound = int(max_block_weight)
+    # Scalar randomness via the stdlib generator (much cheaper per call
+    # than numpy's); seeded from the caller's generator for determinism.
+    tie_rng = _pyrandom.Random(int(rng.integers(0, 2**63 - 1)))
+
+    for _ in range(max(0, iterations)):
+        order = visit_order(graph, ordering, rng).tolist()
+        moved = 0
+        for v in order:
+            begin, end = xadj[v], xadj[v + 1]
+            own = label_list[v]
+            if begin == end:
+                # Isolated node: useless for the cut, but in refinement
+                # mode it can still repair balance by moving to the
+                # lightest eligible block when its own is overloaded.
+                if refine and weight_list[own] > bound:
+                    c_v = vwgt_list[v]
+                    candidates = [
+                        b for b in range(len(weight_list))
+                        if b != own and weight_list[b] + c_v <= bound
+                    ]
+                    if candidates:
+                        target = min(candidates, key=weight_list.__getitem__)
+                        weight_list[own] -= c_v
+                        weight_list[target] += c_v
+                        label_list[v] = target
+                        moved += 1
+                continue
+            my_constraint = constraint_list[v] if constraint_list is not None else None
+
+            # Aggregate connection strength per neighbouring label.
+            conn: dict[int, int] = {}
+            for idx in range(begin, end):
+                u = adjncy[idx]
+                if my_constraint is not None and constraint_list[u] != my_constraint:
+                    continue
+                lab = label_list[u]
+                conn[lab] = conn.get(lab, 0) + adjwgt[idx]
+
+            c_v = vwgt_list[v]
+            evicting = refine and weight_list[own] > bound
+            if not evicting:
+                # Staying is always permitted; connection to own block may
+                # be zero if no neighbour shares it.
+                conn.setdefault(own, 0)
+
+            best_weight = -1
+            best_labels: list[int] = []
+            for lab, strength in conn.items():
+                if lab == own:
+                    if evicting:
+                        continue
+                elif weight_list[lab] + c_v > bound:
+                    continue  # ineligible: target would overload
+                if strength > best_weight:
+                    best_weight = strength
+                    best_labels = [lab]
+                elif strength == best_weight:
+                    best_labels.append(lab)
+
+            if not best_labels:
+                continue  # evicting but nowhere eligible to go
+            target = (
+                best_labels[0]
+                if len(best_labels) == 1
+                else best_labels[tie_rng.randrange(len(best_labels))]
+            )
+            if target != own:
+                weight_list[own] -= c_v
+                weight_list[target] += c_v
+                label_list[v] = target
+                moved += 1
+        if moved == 0:
+            break
+
+    return np.asarray(label_list, dtype=np.int64)
+
+
+def label_propagation_clustering(
+    graph: Graph,
+    max_cluster_weight: int,
+    iterations: int,
+    rng: np.random.Generator,
+    ordering: str = "degree",
+    constraint: np.ndarray | None = None,
+) -> np.ndarray:
+    """Compute a size-constrained clustering (coarsening use, Section III-A).
+
+    The effective bound is ``U = max(max_v c(v), max_cluster_weight)`` so
+    that every node fits in *some* cluster even on weighted coarse levels.
+    """
+    bound = max(int(graph.vwgt.max(initial=1)), int(max_cluster_weight))
+    return size_constrained_label_propagation(
+        graph,
+        max_block_weight=bound,
+        iterations=iterations,
+        rng=rng,
+        labels=None,
+        ordering=ordering,
+        refine=False,
+        constraint=constraint,
+    )
+
+
+def label_propagation_refinement(
+    graph: Graph,
+    partition: np.ndarray,
+    max_block_weight: int,
+    iterations: int,
+    rng: np.random.Generator,
+    constraint: np.ndarray | None = None,
+    band_distance: int | None = None,
+) -> np.ndarray:
+    """Improve a partition with label propagation (refinement use).
+
+    Uses random node order (the paper's choice during uncoarsening) and
+    the hard bound ``W = Lmax``; nodes of overloaded blocks are evicted to
+    their strongest eligible other block.  ``band_distance`` optionally
+    restricts the scan to nodes within that many hops of the boundary
+    (PT-Scotch-style band refinement — faster, near-identical quality;
+    see the band-refinement ablation bench).
+    """
+    partition = np.asarray(partition, dtype=np.int64)
+    if band_distance is None:
+        return size_constrained_label_propagation(
+            graph,
+            max_block_weight=max_block_weight,
+            iterations=iterations,
+            rng=rng,
+            labels=partition,
+            ordering="random",
+            refine=True,
+            constraint=constraint,
+        )
+    # Band mode: same engine and exact global block weights, but only the
+    # band nodes are visited — non-band nodes contribute to weights and
+    # connections yet never move.
+    band = band_nodes(graph, partition, band_distance)
+    if band.size == 0:
+        return partition.copy()
+    return _banded_refinement(
+        graph, partition, max_block_weight, iterations, rng, constraint, band
+    )
+
+
+def _banded_refinement(
+    graph: Graph,
+    partition: np.ndarray,
+    max_block_weight: int,
+    iterations: int,
+    rng: np.random.Generator,
+    constraint: np.ndarray | None,
+    band: np.ndarray,
+) -> np.ndarray:
+    """Refinement engine variant that only visits the given band nodes."""
+    label_list = partition.tolist()
+    n = graph.num_nodes
+    num_labels = (max(label_list) + 1) if label_list else 0
+    weight_list = [0] * num_labels
+    vwgt_list = graph.vwgt.tolist()
+    for v in range(n):
+        weight_list[label_list[v]] += vwgt_list[v]
+
+    xadj = graph.xadj.tolist()
+    adjncy = graph.adjncy.tolist()
+    adjwgt = graph.adjwgt.tolist()
+    constraint_list = None if constraint is None else np.asarray(constraint).tolist()
+    bound = int(max_block_weight)
+    tie_rng = _pyrandom.Random(int(rng.integers(0, 2**63 - 1)))
+    band_list = band.tolist()
+
+    for _ in range(max(0, iterations)):
+        moved = 0
+        order = [band_list[i] for i in rng.permutation(len(band_list)).tolist()]
+        for v in order:
+            begin, end = xadj[v], xadj[v + 1]
+            if begin == end:
+                continue
+            own = label_list[v]
+            my_constraint = constraint_list[v] if constraint_list is not None else None
+            conn: dict[int, int] = {}
+            for idx in range(begin, end):
+                u = adjncy[idx]
+                if my_constraint is not None and constraint_list[u] != my_constraint:
+                    continue
+                lab = label_list[u]
+                conn[lab] = conn.get(lab, 0) + adjwgt[idx]
+            c_v = vwgt_list[v]
+            evicting = weight_list[own] > bound
+            if not evicting:
+                conn.setdefault(own, 0)
+            best_weight = -1
+            best_labels: list[int] = []
+            for lab, strength in conn.items():
+                if lab == own:
+                    if evicting:
+                        continue
+                elif weight_list[lab] + c_v > bound:
+                    continue
+                if strength > best_weight:
+                    best_weight = strength
+                    best_labels = [lab]
+                elif strength == best_weight:
+                    best_labels.append(lab)
+            if not best_labels:
+                continue
+            target = (
+                best_labels[0]
+                if len(best_labels) == 1
+                else best_labels[tie_rng.randrange(len(best_labels))]
+            )
+            if target != own:
+                weight_list[own] -= c_v
+                weight_list[target] += c_v
+                label_list[v] = target
+                moved += 1
+        if moved == 0:
+            break
+    return np.asarray(label_list, dtype=np.int64)

@@ -1,0 +1,60 @@
+"""Sequential top-level facade over the cluster-contraction partitioner."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.csr import Graph
+from ..graph.validation import check_partition
+from ..metrics.quality import PartitionQuality, evaluate_partition
+from .config import PartitionConfig, fast_config
+from .multilevel import InitialPartitioner
+from .vcycle import iterated_vcycles
+
+__all__ = ["SequentialResult", "sequential_partition"]
+
+
+@dataclass(frozen=True)
+class SequentialResult:
+    """Partition plus its quality metrics and per-cycle trace."""
+
+    partition: np.ndarray
+    quality: PartitionQuality
+    cuts_per_cycle: tuple[int, ...]
+
+    @property
+    def cut(self) -> int:
+        return self.quality.cut
+
+    @property
+    def imbalance(self) -> float:
+        return self.quality.imbalance
+
+
+def sequential_partition(
+    graph: Graph,
+    config: PartitionConfig | None = None,
+    seed: int = 0,
+    initial_partitioner: InitialPartitioner | None = None,
+    input_partition: np.ndarray | None = None,
+    validate: bool = True,
+) -> SequentialResult:
+    """Partition ``graph`` with the sequential cluster-ML algorithm.
+
+    ``input_partition`` feeds an external prepartition into the first
+    V-cycle (the paper's future-work scenario).  This is the single-PE
+    reference implementation; the distributed system
+    (:mod:`repro.dist.dist_partitioner`) must agree with it on quality
+    within noise, which the integration tests check.
+    """
+    config = config or fast_config()
+    rng = np.random.default_rng(seed)
+    trace = iterated_vcycles(graph, config, rng,
+                             initial_partitioner=initial_partitioner,
+                             input_partition=input_partition)
+    if validate and graph.num_nodes:
+        check_partition(graph, trace.partition, config.k, epsilon=None)
+    quality = evaluate_partition(graph, trace.partition, config.k)
+    return SequentialResult(trace.partition, quality, trace.cuts)

@@ -1,0 +1,34 @@
+"""Simulated distributed-memory runtime and the parallel partitioner."""
+
+from .comm import CommStats, SimComm, World, payload_bytes
+from .dgraph import DistGraph, balanced_vtxdist
+from .runtime import SpmdResult, run_spmd
+
+__all__ = [
+    "CommStats",
+    "DistGraph",
+    "SimComm",
+    "SpmdResult",
+    "World",
+    "balanced_vtxdist",
+    "payload_bytes",
+    "run_spmd",
+]
+
+
+def __getattr__(name):
+    # The parallel partitioner pulls in core/evolutionary; import lazily to
+    # keep `repro.dist` usable for runtime-only consumers.
+    if name in {"ParallelResult", "parallel_partition", "parhip_program"}:
+        from . import dist_partitioner
+
+        return getattr(dist_partitioner, name)
+    if name in {"parallel_label_propagation", "distributed_edge_cut", "exact_block_weights"}:
+        from . import dist_lp
+
+        return getattr(dist_lp, name)
+    if name in {"DistContraction", "parallel_contract", "parallel_uncoarsen", "lookup_coarse_values"}:
+        from . import dist_contraction
+
+        return getattr(dist_contraction, name)
+    raise AttributeError(f"module 'repro.dist' has no attribute {name!r}")

@@ -1,0 +1,258 @@
+"""Simulated message-passing communicator.
+
+Every distributed algorithm in this library is written in SPMD style
+against :class:`SimComm`, whose surface mirrors the MPI subset the paper
+uses (Section IV): barrier, allreduce, allgather, alltoall(v), broadcast,
+exclusive prefix sum (exscan), reduce/gather, and buffered point-to-point
+sends delivered at the next exchange — the paper's phase-κ asynchronous
+update scheme.
+
+Simulation mechanics
+--------------------
+``P`` simulated PEs run as ``P`` Python threads over a shared
+:class:`World`.  All cross-rank data flows through the collectives, each
+of which is two barrier waits around a shared slot array — the canonical
+lock-step pattern:
+
+1. write your contribution into ``slots[rank]``; barrier;
+2. snapshot whatever the collective needs from ``slots``; barrier
+   (so nobody overwrites slots before everyone has read them).
+
+Because the program is SPMD, every rank calls the same collectives in the
+same order, so one reusable slot array suffices.
+
+Simulated time
+--------------
+Each rank accumulates *local work* via :meth:`SimComm.work` (units ≈ edge
+traversals).  Every collective synchronises simulated clocks exactly like
+a bulk-synchronous superstep: all clocks jump to the maximum across ranks
+plus the collective's alpha–beta cost from the :class:`~repro.perf.machine.Machine`
+model.  Wall-clock claims in the scaling figures come from these clocks,
+while *quality* numbers are real algorithm outputs.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from ..perf.machine import SERIAL, Machine
+
+__all__ = ["World", "SimComm", "CommStats", "payload_bytes"]
+
+
+def payload_bytes(payload: Any) -> int:
+    """Approximate wire size of a payload (NumPy-aware, 8 bytes per scalar)."""
+    if payload is None:
+        return 0
+    if isinstance(payload, np.ndarray):
+        return int(payload.nbytes)
+    if isinstance(payload, (list, tuple)):
+        return sum(payload_bytes(item) for item in payload)
+    if isinstance(payload, dict):
+        return sum(payload_bytes(k) + payload_bytes(v) for k, v in payload.items())
+    if isinstance(payload, (int, float, np.integer, np.floating)):
+        return 8
+    if isinstance(payload, (bytes, str)):
+        return len(payload)
+    return 64  # opaque object: flat estimate
+
+
+@dataclass
+class CommStats:
+    """Per-rank communication counters (inspected by tests and benches)."""
+
+    collectives: int = 0
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    work_units: float = 0.0
+
+
+class World:
+    """Shared state for one SPMD execution of ``size`` simulated PEs."""
+
+    def __init__(self, size: int, machine: Machine | None = None, seed: int = 0) -> None:
+        if size < 1:
+            raise ValueError("world size must be >= 1")
+        self.size = size
+        self.machine = machine or SERIAL
+        self.seed = seed
+        self.barrier = threading.Barrier(size)
+        self.slots: list[Any] = [None] * size
+        self.scratch: list[Any] = [None] * size
+        self.sim_time = np.zeros(size, dtype=np.float64)
+        self.stats = [CommStats() for _ in range(size)]
+        self.aborted = False
+
+    def abort(self) -> None:
+        """Break the barrier so all ranks unwind after a failure."""
+        self.aborted = True
+        self.barrier.abort()
+
+    def comm(self, rank: int) -> "SimComm":
+        """The communicator handle for one rank."""
+        return SimComm(self, rank)
+
+
+class SimComm:
+    """Rank-local communicator handle (the ``comm`` of the SPMD programs)."""
+
+    def __init__(self, world: World, rank: int) -> None:
+        self.world = world
+        self.rank = rank
+        self.size = world.size
+        self.rng = np.random.default_rng((world.seed, rank))
+        self._outbox: dict[int, list[Any]] = {}
+        self._inbox: list[tuple[int, Any]] = []
+
+    # ------------------------------------------------------------------
+    # Cost accounting
+    # ------------------------------------------------------------------
+    def work(self, units: float) -> None:
+        """Account ``units`` of local computation on this rank's clock."""
+        stats = self.world.stats[self.rank]
+        stats.work_units += units
+        self.world.sim_time[self.rank] += self.world.machine.compute_time(units)
+
+    @property
+    def sim_time(self) -> float:
+        """This rank's simulated clock, in seconds."""
+        return float(self.world.sim_time[self.rank])
+
+    @property
+    def stats(self) -> CommStats:
+        return self.world.stats[self.rank]
+
+    # ------------------------------------------------------------------
+    # The lock-step core
+    # ------------------------------------------------------------------
+    def _sync(self) -> None:
+        self.world.barrier.wait()
+
+    def _collect(self, value: Any, recv_bytes_fn: Callable[[list[Any]], int]) -> list[Any]:
+        """Gather one value from each rank; advance all clocks in lock-step."""
+        world = self.world
+        world.slots[self.rank] = value
+        self._sync()
+        gathered = list(world.slots)
+        # Deterministic clock update: every rank computes the same new base
+        # time from the snapshot, then adds its own receive cost.
+        world.scratch[self.rank] = world.sim_time[self.rank]
+        self._sync()
+        base = max(world.scratch)  # type: ignore[type-var]
+        recv = recv_bytes_fn(gathered)
+        world.sim_time[self.rank] = base + world.machine.collective_time(self.size, recv)
+        self.stats.collectives += 1
+        self._sync()
+        return gathered
+
+    # ------------------------------------------------------------------
+    # Collectives
+    # ------------------------------------------------------------------
+    def barrier(self) -> None:
+        """Synchronise all ranks (and their simulated clocks)."""
+        self._collect(None, lambda _: 0)
+
+    def allgather(self, value: Any) -> list[Any]:
+        """Every rank receives the list of all ranks' values."""
+        return self._collect(value, lambda vals: sum(payload_bytes(v) for v in vals))
+
+    def allreduce(self, value: Any, op: Callable[[Any, Any], Any] | None = None) -> Any:
+        """Reduce values from all ranks; every rank receives the result.
+
+        ``op`` defaults to elementwise addition (NumPy-aware).  Any
+        associative, commutative binary callable works.
+        """
+        values = self._collect(value, lambda vals: payload_bytes(vals[0]))
+        if op is None:
+            result = values[0]
+            for other in values[1:]:
+                result = result + other
+            return result
+        result = values[0]
+        for other in values[1:]:
+            result = op(result, other)
+        return result
+
+    def allreduce_max(self, value: Any) -> Any:
+        """Allreduce with elementwise maximum."""
+        return self.allreduce(value, op=np.maximum if isinstance(value, np.ndarray) else max)
+
+    def allreduce_min(self, value: Any) -> Any:
+        """Allreduce with elementwise minimum."""
+        return self.allreduce(value, op=np.minimum if isinstance(value, np.ndarray) else min)
+
+    def bcast(self, value: Any, root: int = 0) -> Any:
+        """Broadcast ``value`` from ``root`` to all ranks."""
+        values = self._collect(
+            value if self.rank == root else None,
+            lambda vals: payload_bytes(vals[root]),
+        )
+        return values[root]
+
+    def reduce(self, value: Any, op: Callable[[Any, Any], Any] | None = None, root: int = 0) -> Any:
+        """Reduce to ``root``; other ranks receive ``None``."""
+        result = self.allreduce(value, op)
+        return result if self.rank == root else None
+
+    def gather(self, value: Any, root: int = 0) -> list[Any] | None:
+        """Gather all values at ``root``; other ranks receive ``None``."""
+        values = self.allgather(value)
+        return values if self.rank == root else None
+
+    def exscan(self, value: int | float) -> int | float:
+        """Exclusive prefix sum (rank 0 receives 0) — Section IV-C's q map."""
+        values = self._collect(value, lambda vals: 8)
+        return type(value)(sum(values[: self.rank]))
+
+    def alltoall(self, per_destination: Sequence[Any]) -> list[Any]:
+        """Personalised all-to-all: element ``i`` goes to rank ``i``.
+
+        Returns the list of payloads received, indexed by source rank.
+        """
+        if len(per_destination) != self.size:
+            raise ValueError("alltoall needs exactly one payload per rank")
+        rows = self._collect(
+            list(per_destination),
+            lambda vals: sum(payload_bytes(row[self.rank]) for row in vals),
+        )
+        self.stats.messages_sent += sum(
+            1 for dest, payload in enumerate(per_destination)
+            if dest != self.rank and payload_bytes(payload) > 0
+        )
+        self.stats.bytes_sent += sum(
+            payload_bytes(p) for d, p in enumerate(per_destination) if d != self.rank
+        )
+        return [rows[src][self.rank] for src in range(self.size)]
+
+    # ------------------------------------------------------------------
+    # Buffered point-to-point (the paper's per-phase send buffers)
+    # ------------------------------------------------------------------
+    def send_buffered(self, dest: int, payload: Any) -> None:
+        """Append ``payload`` to the send buffer for ``dest``.
+
+        Nothing moves until :meth:`exchange`; this is the paper's
+        "separate send buffer for all adjacent PEs" (Section IV-A).
+        """
+        if not (0 <= dest < self.size):
+            raise ValueError(f"invalid destination rank {dest}")
+        self._outbox.setdefault(dest, []).append(payload)
+
+    def exchange(self) -> list[tuple[int, Any]]:
+        """Deliver all buffered sends; return ``(source, payload)`` pairs.
+
+        Implemented as one all-to-all round, which models the paper's
+        overlap scheme: updates buffered during phase κ arrive at the
+        receiver after the phase boundary.
+        """
+        per_dest: list[Any] = [self._outbox.get(dest, []) for dest in range(self.size)]
+        self._outbox.clear()
+        received = self.alltoall(per_dest)
+        flat: list[tuple[int, Any]] = []
+        for src, payloads in enumerate(received):
+            for payload in payloads:
+                flat.append((src, payload))
+        return flat

@@ -1,0 +1,248 @@
+"""Parallel contraction and uncoarsening (paper Section IV-C).
+
+Contraction of a distributed clustering proceeds exactly as in the paper:
+
+1. **Count distinct cluster ids.**  PE ``p`` is made responsible for the
+   id interval ``I_p``; every PE ships the cluster ids of its local nodes
+   to the responsible PEs, which deduplicate.  A reduce yields the global
+   coarse node count ``n'``.
+2. **Remap ids.**  An exclusive prefix sum over the per-PE distinct
+   counts gives each responsible PE the offset of its ids in the
+   contiguous coarse range; the composed map is
+   ``C: fine node -> coarse node in 0..n'-1``.  PEs that used a non-local
+   cluster id fetch its remapped value with a request/response round.
+3. **Ghost mapping.**  A halo exchange propagates ``C`` to ghost nodes.
+4. **Build the coarse graph.**  Every PE builds the weighted quotient of
+   its local subgraph (vectorised lexsort/reduceat), then ships each
+   coarse arc — and each coarse node-weight contribution — to the PE that
+   owns the coarse source under the balanced coarse distribution.
+   Receivers merge duplicates and assemble their local CSR.
+
+Uncoarsening is the simple inverse (Section IV-C, last paragraph): each
+PE asks the owner of each coarse representative for its block id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .comm import SimComm
+from .dgraph import DistGraph, balanced_vtxdist
+
+__all__ = ["DistContraction", "parallel_contract", "lookup_coarse_values"]
+
+
+@dataclass
+class DistContraction:
+    """One parallel coarsening level, as seen by one PE."""
+
+    fine: DistGraph
+    coarse: DistGraph
+    #: coarse global id of each fine local node
+    local_to_coarse: np.ndarray
+    #: coarse constraint labels for coarse local nodes (if tracked)
+    coarse_constraint: np.ndarray | None
+
+
+def _interval_owner(ids: np.ndarray, n_global: int, size: int) -> np.ndarray:
+    """The PE responsible for each id under a balanced interval split."""
+    bounds = balanced_vtxdist(n_global, size)
+    return (np.searchsorted(bounds, ids, side="right") - 1).astype(np.int64)
+
+
+def _exchange_by_owner(
+    comm: SimComm, ids: np.ndarray, owners: np.ndarray
+) -> tuple[list[np.ndarray], list[np.ndarray]]:
+    """Ship each id to its owner; returns (received_per_source, sent_per_dest)."""
+    sent: list[np.ndarray] = []
+    per_dest: list[object] = [None] * comm.size
+    for q in range(comm.size):
+        chunk = ids[owners == q]
+        sent.append(chunk)
+        per_dest[q] = chunk
+    received = comm.alltoall(per_dest)
+    return [np.asarray(r, dtype=np.int64) for r in received], sent
+
+
+def lookup_coarse_values(
+    comm: SimComm,
+    queries: np.ndarray,
+    vtxdist: np.ndarray,
+    local_values: np.ndarray,
+) -> np.ndarray:
+    """Distributed array lookup: ``result[i] = values[queries[i]]``.
+
+    ``local_values`` holds each PE's slice of a conceptual global array
+    distributed by ``vtxdist``.  One request round and one response round.
+    """
+    queries = np.asarray(queries, dtype=np.int64)
+    owners = (np.searchsorted(vtxdist, queries, side="right") - 1).astype(np.int64)
+    first = int(vtxdist[comm.rank])
+
+    requests, sent = _exchange_by_owner(comm, queries, owners)
+    responses: list[object] = [None] * comm.size
+    for q, req in enumerate(requests):
+        responses[q] = local_values[req - first] if req.size else req
+    answered = comm.alltoall(responses)
+
+    result = np.empty(queries.size, dtype=local_values.dtype)
+    for q in range(comm.size):
+        mask = owners == q
+        result[mask] = answered[q]
+    return result
+
+
+def parallel_contract(
+    dgraph: DistGraph,
+    comm: SimComm,
+    labels: np.ndarray,
+    constraint: np.ndarray | None = None,
+) -> DistContraction:
+    """Contract a clustering of a distributed graph, fully in parallel.
+
+    ``labels`` is the length-``n_total`` cluster array produced by
+    :func:`~repro.dist.dist_lp.parallel_label_propagation` (cluster ids
+    live in the global fine node id space).  ``constraint`` optionally
+    carries a partition to the coarse level (V-cycles).
+    """
+    n_local = dgraph.n_local
+    n_global = dgraph.n_global
+    local_labels = np.asarray(labels[:n_local], dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # 1. Distinct cluster ids, counted at interval-responsible PEs
+    # ------------------------------------------------------------------
+    unique_local = np.unique(local_labels)
+    owners = _interval_owner(unique_local, n_global, comm.size)
+    received, _ = _exchange_by_owner(comm, unique_local, owners)
+    my_ids = np.unique(np.concatenate(received)) if received else np.empty(0, np.int64)
+    comm.work(n_local + unique_local.size)
+
+    # ------------------------------------------------------------------
+    # 2. Prefix-sum remap q : cluster id -> 0..n'-1
+    # ------------------------------------------------------------------
+    offset = int(comm.exscan(int(my_ids.size)))
+    n_coarse = int(comm.allreduce(int(my_ids.size)))
+    # Answer the remap for the ids each PE asked about.
+    remap_requests, _ = _exchange_by_owner(
+        comm, unique_local, _interval_owner(unique_local, n_global, comm.size)
+    )
+    responses: list[object] = [None] * comm.size
+    for q, req in enumerate(remap_requests):
+        responses[q] = offset + np.searchsorted(my_ids, req) if req.size else req
+    answered = comm.alltoall(responses)
+    remap = np.empty(unique_local.size, dtype=np.int64)
+    for q in range(comm.size):
+        mask = owners == q
+        remap[mask] = answered[q]
+    # C over local nodes, via the sorted unique_local index
+    local_to_coarse = remap[np.searchsorted(unique_local, local_labels)]
+
+    # ------------------------------------------------------------------
+    # 3. Ghost mapping via halo exchange
+    # ------------------------------------------------------------------
+    coarse_of = np.zeros(dgraph.n_total, dtype=np.int64)
+    coarse_of[:n_local] = local_to_coarse
+    dgraph.halo_exchange(comm, coarse_of)
+
+    # ------------------------------------------------------------------
+    # 4. Local quotient, then shuffle to coarse owners
+    # ------------------------------------------------------------------
+    src_c = coarse_of[dgraph.arc_sources()]
+    dst_c = coarse_of[dgraph.adjncy]
+    keep = src_c != dst_c
+    src_c, dst_c, wgt = src_c[keep], dst_c[keep], dgraph.adjwgt[keep]
+    if src_c.size:
+        order = np.lexsort((dst_c, src_c))
+        src_c, dst_c, wgt = src_c[order], dst_c[order], wgt[order]
+        boundary = np.empty(src_c.size, dtype=bool)
+        boundary[0] = True
+        boundary[1:] = (src_c[1:] != src_c[:-1]) | (dst_c[1:] != dst_c[:-1])
+        starts = np.flatnonzero(boundary)
+        src_c = src_c[starts]
+        dst_c = dst_c[starts]
+        wgt = np.add.reduceat(wgt, starts)
+    comm.work(dgraph.num_arcs)
+
+    coarse_vtxdist = balanced_vtxdist(n_coarse, comm.size)
+    arc_owner = (np.searchsorted(coarse_vtxdist, src_c, side="right") - 1).astype(np.int64)
+
+    per_dest: list[object] = [None] * comm.size
+    for q in range(comm.size):
+        mask = arc_owner == q
+        per_dest[q] = (src_c[mask], dst_c[mask], wgt[mask])
+    arc_msgs = comm.alltoall(per_dest)
+
+    # Coarse node weights (and optional constraint labels) contributed by
+    # this PE's local nodes, shipped to the coarse owners.
+    contrib_ids, inverse = np.unique(local_to_coarse, return_inverse=True)
+    contrib_wgt = np.bincount(inverse, weights=dgraph.vwgt).astype(np.int64)
+    if constraint is not None:
+        # All fine nodes of a coarse node share the constraint label
+        # (clusters never span constraint blocks), so any representative
+        # value works.
+        rep = np.zeros(contrib_ids.size, dtype=np.int64)
+        rep[inverse] = np.asarray(constraint[:n_local], dtype=np.int64)
+    node_owner = (np.searchsorted(coarse_vtxdist, contrib_ids, side="right") - 1).astype(np.int64)
+    per_dest = [None] * comm.size
+    for q in range(comm.size):
+        mask = node_owner == q
+        payload = (contrib_ids[mask], contrib_wgt[mask])
+        if constraint is not None:
+            payload = payload + (rep[mask],)
+        per_dest[q] = payload
+    node_msgs = comm.alltoall(per_dest)
+
+    # ------------------------------------------------------------------
+    # Assemble the local coarse subgraph
+    # ------------------------------------------------------------------
+    my_first = int(coarse_vtxdist[comm.rank])
+    my_count = int(coarse_vtxdist[comm.rank + 1]) - my_first
+
+    all_src = np.concatenate([m[0] for m in arc_msgs]) if arc_msgs else np.empty(0, np.int64)
+    all_dst = np.concatenate([m[1] for m in arc_msgs]) if arc_msgs else np.empty(0, np.int64)
+    all_wgt = np.concatenate([m[2] for m in arc_msgs]) if arc_msgs else np.empty(0, np.int64)
+    if all_src.size:
+        order = np.lexsort((all_dst, all_src))
+        all_src, all_dst, all_wgt = all_src[order], all_dst[order], all_wgt[order]
+        boundary = np.empty(all_src.size, dtype=bool)
+        boundary[0] = True
+        boundary[1:] = (all_src[1:] != all_src[:-1]) | (all_dst[1:] != all_dst[:-1])
+        starts = np.flatnonzero(boundary)
+        all_src = all_src[starts]
+        all_dst = all_dst[starts]
+        all_wgt = np.add.reduceat(all_wgt, starts)
+
+    coarse_vwgt = np.zeros(my_count, dtype=np.int64)
+    coarse_constraint = np.zeros(my_count, dtype=np.int64) if constraint is not None else None
+    for msg in node_msgs:
+        ids, wgts = msg[0], msg[1]
+        np.add.at(coarse_vwgt, ids - my_first, wgts)
+        if coarse_constraint is not None and len(msg) > 2 and ids.size:
+            coarse_constraint[ids - my_first] = msg[2]
+
+    coarse = DistGraph.from_arcs(
+        coarse_vtxdist, comm.rank, all_src, all_dst, all_wgt, coarse_vwgt
+    )
+    return DistContraction(dgraph, coarse, local_to_coarse, coarse_constraint)
+
+
+def parallel_uncoarsen(
+    contraction: DistContraction,
+    comm: SimComm,
+    coarse_partition_local: np.ndarray,
+) -> np.ndarray:
+    """Project a coarse partition to the fine level (Section IV-C end).
+
+    ``coarse_partition_local`` holds the block of each coarse node this
+    PE owns; the result is the block of each *fine local* node, fetched
+    from the coarse representatives' owners.
+    """
+    return lookup_coarse_values(
+        comm,
+        contraction.local_to_coarse,
+        contraction.coarse.vtxdist,
+        np.asarray(coarse_partition_local, dtype=np.int64),
+    )

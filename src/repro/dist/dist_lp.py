@@ -1,0 +1,326 @@
+"""Parallel size-constrained label propagation (paper Sections IV-A/IV-B).
+
+Each PE runs the sequential scan over its *local* nodes; ghost labels are
+refreshed through the buffered phase exchange, so within a phase a PE
+works with ghost information that is one phase stale — exactly the
+paper's communication/computation overlap scheme.
+
+Block-weight bookkeeping follows the paper's two regimes:
+
+* **coarsening** (``mode='cluster'``): the number of blocks starts at
+  ``n``, so no PE can hold global weights.  Every PE tracks only a local
+  *view*: the weights of the blocks its local and ghost nodes belong to,
+  updated optimistically on every local move and on every received ghost
+  update.  The constraint is soft, so approximate weights are fine.
+* **refinement** (``mode='refine'``): only ``k`` blocks, tight
+  constraint.  Exact global block weights are computed with an allreduce
+  at every phase boundary (the ParMetis-style scheme the paper adopts).
+  Within a phase each PE works against *per-PE budget shares*: it may add
+  at most ``(Lmax - w(b)) / p`` weight to block ``b`` and evict at most
+  ``(w(b) - Lmax) / p`` from an overloaded block.  The 1/p shares make
+  the phase outcome safe by construction — even if every PE exhausts its
+  budget, the block lands exactly at the bound — which is what keeps the
+  tight constraint stable when many PEs chase the same imbalance signal
+  (the failure mode the paper attributes to parallel Jostle).
+
+Degree-based node ordering is parallelised exactly as in the paper: each
+PE orders its *local* nodes by local degree; refinement uses random order.
+"""
+
+from __future__ import annotations
+
+import random as _pyrandom
+
+import numpy as np
+
+from .comm import SimComm
+from .dgraph import DistGraph
+
+__all__ = ["parallel_label_propagation", "exact_block_weights", "distributed_edge_cut"]
+
+
+def exact_block_weights(
+    dgraph: DistGraph, comm: SimComm, labels: np.ndarray, k: int
+) -> np.ndarray:
+    """Exact global block weights via one allreduce (refinement regime)."""
+    local = np.bincount(
+        labels[: dgraph.n_local], weights=dgraph.vwgt, minlength=k
+    ).astype(np.int64)
+    return comm.allreduce(local)
+
+
+def distributed_edge_cut(dgraph: DistGraph, comm: SimComm, labels: np.ndarray) -> int:
+    """Global edge cut of a (local + ghost) label array, via allreduce."""
+    src_labels = labels[dgraph.arc_sources()]
+    dst_labels = labels[dgraph.adjncy]
+    local_cut = int(dgraph.adjwgt[src_labels != dst_labels].sum())
+    # Cross-PE cut arcs are counted once per side, local-local arcs twice;
+    # summing over all PEs double-counts every cut edge exactly twice.
+    return int(comm.allreduce(local_cut)) // 2
+
+
+def _exchange_interface_labels(
+    dgraph: DistGraph,
+    comm: SimComm,
+    label_list: list[int],
+    changed: list[int],
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Ship changed interface labels to adjacent PEs; apply received updates.
+
+    Returns the list of (ghost indices, new labels) applied, so callers
+    can fold them into whatever weight view they maintain.
+    """
+    n_local = dgraph.n_local
+    changed_arr = np.asarray(changed, dtype=np.int64)
+    per_dest: list[object] = [None] * comm.size
+    for q, nodes in zip(dgraph.send_ranks.tolist(), dgraph.send_nodes):
+        touched = nodes[np.isin(nodes, changed_arr)] if changed_arr.size else nodes[:0]
+        globals_ = touched + dgraph.first
+        values = np.asarray([label_list[v] for v in touched.tolist()], dtype=np.int64)
+        per_dest[q] = (globals_, values)
+    received = comm.alltoall(per_dest)
+    applied: list[tuple[np.ndarray, np.ndarray]] = []
+    for payload in received:
+        if payload is None:
+            continue
+        globals_, values = payload
+        if globals_.size == 0:
+            continue
+        ghost_idx = np.searchsorted(dgraph.ghost_global, globals_) + n_local
+        applied.append((ghost_idx, values))
+    return applied
+
+
+def parallel_label_propagation(
+    dgraph: DistGraph,
+    comm: SimComm,
+    labels: np.ndarray,
+    max_block_weight: int,
+    iterations: int,
+    mode: str = "cluster",
+    k: int | None = None,
+    constraint: np.ndarray | None = None,
+) -> np.ndarray:
+    """Run parallel SCLP; returns the updated length-``n_total`` label array.
+
+    Collective over ``comm``.  ``labels`` must contain consistent ghost
+    entries on entry (e.g. global node ids for clustering, or a projected
+    partition refreshed by a halo exchange).
+    """
+    if mode not in ("cluster", "refine"):
+        raise ValueError(f"unknown mode {mode!r}")
+    refine = mode == "refine"
+    if refine and k is None:
+        raise ValueError("refinement mode requires k")
+
+    labels = np.asarray(labels, dtype=np.int64).copy()
+    n_local = dgraph.n_local
+    bound = int(max_block_weight)
+
+    # Python-list mirrors for the scan (list indexing beats numpy scalars).
+    xadj = dgraph.xadj.tolist()
+    adjncy = dgraph.adjncy.tolist()
+    adjwgt = dgraph.adjwgt.tolist()
+    label_list = labels.tolist()
+    constraint_list = None if constraint is None else np.asarray(constraint).tolist()
+    interface = dgraph.interface_mask()
+    tie_rng = _pyrandom.Random(int(comm.rng.integers(0, 2**63 - 1)))
+
+    # Node weights including ghosts (one halo exchange).
+    ghost_vwgt = np.zeros(dgraph.n_total, dtype=np.int64)
+    ghost_vwgt[:n_local] = dgraph.vwgt
+    dgraph.halo_exchange(comm, ghost_vwgt)
+    vwgt_all = ghost_vwgt.tolist()
+
+    if refine:
+        labels = _refine_phases(
+            dgraph, comm, label_list, xadj, adjncy, adjwgt, vwgt_all,
+            constraint_list, interface, tie_rng, bound, int(k), iterations,
+        )
+        return labels
+
+    # ------------------------------------------------------------------
+    # Clustering regime: localized weight view (Section IV-B, coarsening)
+    # ------------------------------------------------------------------
+    weight_view: dict[int, int] = {}
+    for lid in range(dgraph.n_total):
+        lab = label_list[lid]
+        weight_view[lab] = weight_view.get(lab, 0) + vwgt_all[lid]
+
+    degree_order = np.argsort(dgraph.degrees, kind="stable").tolist()
+    for _phase in range(max(0, iterations)):
+        changed: list[int] = []
+        arcs_scanned = 0
+        for v in degree_order:
+            begin, end = xadj[v], xadj[v + 1]
+            if begin == end:
+                continue
+            arcs_scanned += end - begin
+            own = label_list[v]
+            my_constraint = constraint_list[v] if constraint_list is not None else None
+
+            conn: dict[int, int] = {}
+            for idx in range(begin, end):
+                u = adjncy[idx]
+                if my_constraint is not None and constraint_list[u] != my_constraint:
+                    continue
+                lab = label_list[u]
+                conn[lab] = conn.get(lab, 0) + adjwgt[idx]
+            conn.setdefault(own, 0)
+
+            c_v = vwgt_all[v]
+            best_weight = -1
+            best_labels: list[int] = []
+            for lab, strength in conn.items():
+                if lab != own and weight_view.get(lab, 0) + c_v > bound:
+                    continue
+                if strength > best_weight:
+                    best_weight = strength
+                    best_labels = [lab]
+                elif strength == best_weight:
+                    best_labels.append(lab)
+            if not best_labels:
+                continue
+            target = (
+                best_labels[0]
+                if len(best_labels) == 1
+                else best_labels[tie_rng.randrange(len(best_labels))]
+            )
+            if target != own:
+                weight_view[own] = weight_view.get(own, 0) - c_v
+                weight_view[target] = weight_view.get(target, 0) + c_v
+                label_list[v] = target
+                if interface[v]:
+                    changed.append(v)
+        comm.work(arcs_scanned)
+
+        applied = _exchange_interface_labels(dgraph, comm, label_list, changed)
+        for ghost_idx, values in applied:
+            for gi, new_lab in zip(ghost_idx.tolist(), values.tolist()):
+                old = label_list[gi]
+                if old == new_lab:
+                    continue
+                w = vwgt_all[gi]
+                weight_view[old] = weight_view.get(old, 0) - w
+                weight_view[new_lab] = weight_view.get(new_lab, 0) + w
+                label_list[gi] = new_lab
+
+        if int(comm.allreduce(len(changed))) == 0:
+            break
+
+    return np.asarray(label_list, dtype=np.int64)
+
+
+def _refine_phases(
+    dgraph: DistGraph,
+    comm: SimComm,
+    label_list: list[int],
+    xadj: list[int],
+    adjncy: list[int],
+    adjwgt: list[int],
+    vwgt_all: list[int],
+    constraint_list: list[int] | None,
+    interface: np.ndarray,
+    tie_rng: "_pyrandom.Random",
+    bound: int,
+    k: int,
+    iterations: int,
+) -> np.ndarray:
+    """Refinement regime: exact weights per phase, per-PE budget shares."""
+    n_local = dgraph.n_local
+    size = comm.size
+
+    exact = exact_block_weights(
+        dgraph, comm, np.asarray(label_list, dtype=np.int64), k
+    ).tolist()
+
+    for _phase in range(max(0, iterations)):
+        # Per-PE budgets for this phase (see module docstring).
+        inflow_budget = [max(0.0, (bound - exact[b]) / size) for b in range(k)]
+        evict_budget = [max(0.0, (exact[b] - bound) / size) for b in range(k)]
+        local_net = [0] * k  # this PE's net weight added to each block
+        local_out = [0] * k  # weight this PE evicted from overloaded blocks
+
+        changed: list[int] = []
+        arcs_scanned = 0
+        for v in comm.rng.permutation(n_local).tolist():
+            begin, end = xadj[v], xadj[v + 1]
+            own = label_list[v]
+            if begin == end:
+                # Isolated node: may still repair balance (see the
+                # sequential engine) within this PE's eviction budget.
+                c_v = vwgt_all[v]
+                if exact[own] > bound and local_out[own] < evict_budget[own]:
+                    candidates = [
+                        b for b in range(k)
+                        if b != own and local_net[b] + c_v <= inflow_budget[b]
+                    ]
+                    if candidates:
+                        target = min(candidates, key=lambda b: exact[b] + local_net[b])
+                        local_net[own] -= c_v
+                        local_net[target] += c_v
+                        local_out[own] += c_v
+                        label_list[v] = target
+                        if interface[v]:
+                            changed.append(v)
+                continue
+            arcs_scanned += end - begin
+            my_constraint = constraint_list[v] if constraint_list is not None else None
+
+            conn: dict[int, int] = {}
+            for idx in range(begin, end):
+                u = adjncy[idx]
+                if my_constraint is not None and constraint_list[u] != my_constraint:
+                    continue
+                lab = label_list[u]
+                conn[lab] = conn.get(lab, 0) + adjwgt[idx]
+
+            c_v = vwgt_all[v]
+            evicting = exact[own] > bound and local_out[own] < evict_budget[own]
+            if not evicting:
+                conn.setdefault(own, 0)
+
+            best_weight = -1
+            best_labels: list[int] = []
+            for lab, strength in conn.items():
+                if lab == own:
+                    if evicting:
+                        continue
+                elif local_net[lab] + c_v > inflow_budget[lab]:
+                    continue  # this PE's share of block `lab` is used up
+                if strength > best_weight:
+                    best_weight = strength
+                    best_labels = [lab]
+                elif strength == best_weight:
+                    best_labels.append(lab)
+            if not best_labels:
+                continue
+            target = (
+                best_labels[0]
+                if len(best_labels) == 1
+                else best_labels[tie_rng.randrange(len(best_labels))]
+            )
+            if target != own:
+                local_net[own] -= c_v
+                local_net[target] += c_v
+                if evicting:
+                    local_out[own] += c_v
+                label_list[v] = target
+                if interface[v]:
+                    changed.append(v)
+        comm.work(arcs_scanned)
+
+        applied = _exchange_interface_labels(dgraph, comm, label_list, changed)
+        for ghost_idx, values in applied:
+            for gi, new_lab in zip(ghost_idx.tolist(), values.tolist()):
+                label_list[gi] = new_lab
+
+        # Restore exact weights with one allreduce (Section IV-B).
+        exact = exact_block_weights(
+            dgraph, comm, np.asarray(label_list, dtype=np.int64), k
+        ).tolist()
+
+        if int(comm.allreduce(len(changed))) == 0:
+            break
+
+    return np.asarray(label_list, dtype=np.int64)

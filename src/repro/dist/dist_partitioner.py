@@ -1,0 +1,315 @@
+"""The overall parallel system (paper Section IV-E, Figure 4).
+
+Per V-cycle, the SPMD program on every PE:
+
+1. runs ``l`` iterations of parallel size-constrained label propagation
+   and contracts the clustering in parallel, recursively, until the graph
+   has at most ``coarsest_nodes_per_block * k`` nodes;
+2. collects the distributed coarsest graph on every PE (each PE gets a
+   full replica — the step whose memory cost sinks ParMetis on complex
+   networks, and which cluster coarsening makes affordable);
+3. runs the distributed evolutionary algorithm KaFFPaE on the replica
+   (fast config: initial population only; eco: optimisation rounds
+   budgeted as ``t_p = t_1 / p``), feeding the previous V-cycle's
+   partition in as an individual;
+4. transfers the best partition onto the distributed coarse graph and
+   uncoarsens level by level, applying ``r`` iterations of parallel label
+   propagation with the hard constraint ``W = Lmax`` after each
+   projection.
+
+Quality numbers are real outputs; times are the simulated clocks of the
+machine model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.config import PartitionConfig, fast_config
+from ..core.multilevel import detect_social
+from ..evolutionary.kaffpae import KaffpaeOptions, kaffpae_partition
+from ..graph.csr import Graph
+from ..graph.validation import max_block_weight_bound
+from ..metrics.quality import evaluate_partition, PartitionQuality
+from ..perf.machine import Machine
+from ..perf.memory import MemoryBudget, estimate_graph_bytes
+from .comm import SimComm
+from .dgraph import DistGraph, balanced_vtxdist
+from .dist_contraction import parallel_contract, parallel_uncoarsen
+from .dist_lp import parallel_label_propagation
+from .runtime import run_spmd
+
+__all__ = ["ParallelResult", "parallel_partition", "parhip_program"]
+
+
+@dataclass(frozen=True)
+class ParallelResult:
+    """Outcome of one parallel partitioning run."""
+
+    partition: np.ndarray
+    quality: PartitionQuality
+    sim_time: float  # simulated seconds (machine model)
+    num_pes: int
+    coarse_sizes: tuple[int, ...]  # global node count after each level
+    phase_times: dict = field(default_factory=dict)
+
+    @property
+    def cut(self) -> int:
+        return self.quality.cut
+
+    @property
+    def imbalance(self) -> float:
+        return self.quality.imbalance
+
+
+def _collect_replica(dgraph: DistGraph, comm: SimComm) -> Graph:
+    """Allgather the distributed graph into a full replica on every PE."""
+    src = dgraph.to_global(dgraph.arc_sources())
+    dst = dgraph.to_global(dgraph.adjncy)
+    pieces = comm.allgather((src, dst, dgraph.adjwgt, dgraph.vwgt))
+    all_src = np.concatenate([p[0] for p in pieces])
+    all_dst = np.concatenate([p[1] for p in pieces])
+    all_wgt = np.concatenate([p[2] for p in pieces])
+    all_vwgt = np.concatenate([p[3] for p in pieces])
+    n = dgraph.n_global
+    order = np.lexsort((all_dst, all_src))
+    xadj = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(all_src, minlength=n), out=xadj[1:])
+    return Graph(xadj, all_dst[order], all_vwgt, all_wgt[order], name="coarsest-replica")
+
+
+def parhip_program(
+    comm: SimComm,
+    graph: Graph,
+    config: PartitionConfig,
+    seed: int,
+    memory_budget: float | None = None,
+    memory_scale: float = 1.0,
+    replica_memory_scale: float | None = None,
+    initial_partition: np.ndarray | None = None,
+) -> tuple[np.ndarray, dict]:
+    """The SPMD body of the parallel partitioner (collective over ``comm``).
+
+    Returns the *global* partition (identical on every rank) and a phase
+    timing dictionary of this rank's simulated clock.
+    """
+    k = config.k
+    n = graph.num_nodes
+    if n == 0:
+        return np.empty(0, dtype=np.int64), {}
+    vtxdist = balanced_vtxdist(n, comm.size)
+    dgraph = DistGraph.from_global(graph, vtxdist, comm.rank)
+    lmax = max_block_weight_bound(graph, k, config.epsilon)
+    social = config.social if config.social is not None else detect_social(graph)
+    budget = (
+        MemoryBudget(memory_budget, scale=memory_scale) if memory_budget is not None else None
+    )
+    if budget is not None:
+        # Charge the *ideal* 1/p share (global sizes divided by p): at the
+        # paper's instance sizes ghosts are a small fraction of a PE's
+        # subgraph, whereas at our scaled-down sizes they would dominate
+        # and distort the paper-scale extrapolation the scale factor does.
+        budget.charge_graph(
+            -(-graph.num_nodes // comm.size),
+            -(-graph.num_edges // comm.size),
+            "input subgraph",
+        )
+
+    phase_times = {"coarsening": 0.0, "initial": 0.0, "refinement": 0.0}
+    coarse_sizes: list[int] = []
+    partition_local: np.ndarray | None = None  # blocks of local nodes
+    if initial_partition is not None:
+        # Prepartitioned input (future-work scenario): feed it into the
+        # first V-cycle exactly like the previous cycle's result.
+        partition_local = np.asarray(
+            initial_partition[dgraph.first : dgraph.first + dgraph.n_local],
+            dtype=np.int64,
+        )
+
+    for cycle in range(config.num_vcycles):
+        # All ranks must agree on the factor f: derive it from a shared RNG.
+        shared_rng = np.random.default_rng((seed, 7_919, cycle))
+        factor = config.cluster_factor(cycle, social, shared_rng)
+        # Floor of 2 for the same reason as the sequential coarsener: at
+        # scaled-down sizes the mesh factor must not freeze clustering.
+        max_cluster_weight = max(2, int(lmax / factor))
+
+        # ------------------------------------------------------------------
+        # Parallel coarsening
+        # ------------------------------------------------------------------
+        t0 = comm.sim_time
+        constraint: np.ndarray | None = None
+        if partition_local is not None:
+            constraint = np.zeros(dgraph.n_total, dtype=np.int64)
+            constraint[: dgraph.n_local] = partition_local
+            dgraph.halo_exchange(comm, constraint)
+
+        levels = []
+        level_charges: list[float] = []
+        current = dgraph
+        current_constraint = constraint
+        while current.n_global > config.coarsest_target():
+            # Same per-level bound adaptation as the sequential coarsener;
+            # the max node weight is global, hence one allreduce.
+            local_max = int(current.vwgt.max(initial=1))
+            global_max = int(comm.allreduce_max(local_max))
+            cap = max(2, lmax // 4)
+            level_bound = min(max(max_cluster_weight, 2 * global_max), cap)
+            init_labels = current.to_global(np.arange(current.n_total, dtype=np.int64))
+            labels = parallel_label_propagation(
+                current,
+                comm,
+                init_labels,
+                level_bound,
+                config.coarsening_iterations,
+                mode="cluster",
+                constraint=current_constraint,
+            )
+            contraction = parallel_contract(
+                current,
+                comm,
+                labels,
+                constraint=None if current_constraint is None
+                else current_constraint,
+            )
+            if contraction.coarse.n_global >= config.min_shrink_factor * current.n_global:
+                break  # coarsening stalled; partition what we have
+            levels.append(contraction)
+            current = contraction.coarse
+            coarse_sizes.append(current.n_global)
+            if budget is not None:
+                global_arcs = int(comm.allreduce(current.num_arcs))
+                level_bytes = estimate_graph_bytes(
+                    -(-current.n_global // comm.size),
+                    -(-(global_arcs // 2) // comm.size),
+                )
+                budget.charge(level_bytes, "coarse level")
+                level_charges.append(level_bytes)
+            if current_constraint is not None:
+                extended = np.zeros(current.n_total, dtype=np.int64)
+                extended[: current.n_local] = contraction.coarse_constraint
+                current.halo_exchange(comm, extended)
+                current_constraint = extended
+        phase_times["coarsening"] += comm.sim_time - t0
+
+        # ------------------------------------------------------------------
+        # Initial partitioning: replicate coarsest + KaFFPaE
+        # ------------------------------------------------------------------
+        t0 = comm.sim_time
+        replica = _collect_replica(current, comm)
+        if budget is not None:
+            # The replica is charged with its own scale: the paper stops
+            # coarsening at 10 000*k of >10^8 nodes (a ~0.1 % fraction),
+            # whereas our scaled-down coarsest is a few percent of the
+            # stand-in — applying the instance byte-scale directly would
+            # overstate the paper-scale replica by that fraction ratio.
+            ratio = (
+                replica_memory_scale / memory_scale
+                if replica_memory_scale is not None
+                else 1.0
+            )
+            budget.charge(
+                estimate_graph_bytes(replica.num_nodes, replica.num_edges) * ratio,
+                "replicated coarsest graph",
+            )
+        seed_partition = None
+        if current_constraint is not None:
+            seed_partition = current.gather_global(comm, current_constraint)
+        ea_options = KaffpaeOptions(
+            population_size=config.population_size,
+            rounds=config.evolution_rounds,
+        )
+        if config.flow_refinement:
+            from ..kaffpa.driver import KaffpaOptions
+
+            ea_options = KaffpaeOptions(
+                population_size=config.population_size,
+                rounds=config.evolution_rounds,
+                engine=KaffpaOptions(
+                    coarsening="matching",
+                    coarsest_nodes=40,
+                    flow_refinement_below=1_000_000,
+                ),
+            )
+        coarsest_partition = kaffpae_partition(
+            comm, replica, k, config.epsilon, ea_options, seed_individual=seed_partition
+        )
+        partition_local = coarsest_partition[
+            current.first : current.first + current.n_local
+        ]
+        phase_times["initial"] += comm.sim_time - t0
+
+        # ------------------------------------------------------------------
+        # Uncoarsening with parallel LP refinement
+        # ------------------------------------------------------------------
+        t0 = comm.sim_time
+        for contraction in reversed(levels):
+            fine = contraction.fine
+            partition_local = parallel_uncoarsen(contraction, comm, partition_local)
+            labels = np.zeros(fine.n_total, dtype=np.int64)
+            labels[: fine.n_local] = partition_local
+            fine.halo_exchange(comm, labels)
+            labels = parallel_label_propagation(
+                fine,
+                comm,
+                labels,
+                lmax,
+                config.refinement_iterations,
+                mode="refine",
+                k=k,
+            )
+            partition_local = labels[: fine.n_local]
+            if budget is not None and level_charges:
+                budget.release(level_charges.pop())
+        phase_times["refinement"] += comm.sim_time - t0
+
+    assert partition_local is not None
+    global_partition = dgraph.gather_global(comm, partition_local)
+    phase_times["coarse_sizes"] = tuple(coarse_sizes)
+    return global_partition, phase_times
+
+
+def parallel_partition(
+    graph: Graph,
+    config: PartitionConfig | None = None,
+    num_pes: int = 4,
+    machine: Machine | None = None,
+    seed: int = 0,
+    memory_budget: float | None = None,
+    memory_scale: float = 1.0,
+    replica_memory_scale: float | None = None,
+    initial_partition: np.ndarray | None = None,
+) -> ParallelResult:
+    """Partition ``graph`` with the full parallel system on ``num_pes`` PEs.
+
+    Raises :class:`repro.perf.OutOfMemoryError` if a ``memory_budget`` (in
+    scaled bytes per PE) is given and exceeded — the mechanism behind the
+    ``*`` entries of Tables II/III.
+    """
+    config = config or fast_config()
+    result = run_spmd(
+        num_pes,
+        parhip_program,
+        graph,
+        config,
+        seed,
+        machine=machine,
+        seed=seed,
+        memory_budget=memory_budget,
+        memory_scale=memory_scale,
+        replica_memory_scale=replica_memory_scale,
+        initial_partition=initial_partition,
+    )
+    partition, phase_times = result.value
+    quality = evaluate_partition(graph, partition, config.k)
+    coarse_sizes = tuple(phase_times.pop("coarse_sizes", ()))
+    return ParallelResult(
+        partition=partition,
+        quality=quality,
+        sim_time=result.sim_time,
+        num_pes=num_pes,
+        coarse_sizes=coarse_sizes,
+        phase_times=phase_times,
+    )

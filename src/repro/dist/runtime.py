@@ -1,0 +1,98 @@
+"""SPMD execution engine for the simulated PEs.
+
+:func:`run_spmd` launches one Python thread per simulated PE, each running
+the same rank-parametric program against its :class:`~repro.dist.comm.SimComm`.
+If any rank raises, the shared barrier is aborted so the remaining ranks
+unwind instead of deadlocking, and the first failure is re-raised in the
+caller — including simulated :class:`~repro.perf.memory.OutOfMemoryError`,
+which the bench harness catches to produce the paper's ``*`` table entries.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from ..perf.machine import Machine
+from .comm import CommStats, World
+
+__all__ = ["SpmdResult", "run_spmd"]
+
+
+@dataclass
+class SpmdResult:
+    """Outcome of one SPMD execution."""
+
+    per_rank: list[Any]
+    sim_time: float  # max simulated clock over all ranks, seconds
+    sim_times: np.ndarray  # per-rank clocks
+    stats: list[CommStats]
+
+    @property
+    def value(self) -> Any:
+        """Rank 0's return value (SPMD programs usually agree anyway)."""
+        return self.per_rank[0]
+
+    @property
+    def total_work(self) -> float:
+        return sum(s.work_units for s in self.stats)
+
+    @property
+    def total_bytes_sent(self) -> int:
+        return sum(s.bytes_sent for s in self.stats)
+
+
+def run_spmd(
+    size: int,
+    program: Callable[..., Any],
+    *args: Any,
+    machine: Machine | None = None,
+    seed: int = 0,
+    **kwargs: Any,
+) -> SpmdResult:
+    """Run ``program(comm, *args, **kwargs)`` on ``size`` simulated PEs.
+
+    The program must be SPMD: every rank calls the same sequence of
+    collectives.  Per-rank randomness should come from ``comm.rng``, which
+    is deterministically seeded from ``(seed, rank)``.
+    """
+    world = World(size, machine=machine, seed=seed)
+
+    if size == 1:
+        # Fast path: no threads needed; barriers over one rank are no-ops.
+        result = program(world.comm(0), *args, **kwargs)
+        return SpmdResult([result], float(world.sim_time.max()), world.sim_time.copy(),
+                          world.stats)
+
+    results: list[Any] = [None] * size
+    errors: list[tuple[int, BaseException]] = []
+    error_lock = threading.Lock()
+
+    def run_rank(rank: int) -> None:
+        comm = world.comm(rank)
+        try:
+            results[rank] = program(comm, *args, **kwargs)
+        except threading.BrokenBarrierError:
+            pass  # another rank failed first; unwind quietly
+        except BaseException as exc:  # noqa: BLE001 - must propagate any failure
+            with error_lock:
+                errors.append((rank, exc))
+            world.abort()
+
+    threads = [
+        threading.Thread(target=run_rank, args=(rank,), name=f"pe-{rank}", daemon=True)
+        for rank in range(size)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    if errors:
+        rank, first = min(errors, key=lambda pair: pair[0])
+        raise first
+
+    return SpmdResult(results, float(world.sim_time.max()), world.sim_time.copy(), world.stats)

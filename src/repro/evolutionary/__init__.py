@@ -1,0 +1,19 @@
+"""KaFFPaE: the coarse-grained distributed evolutionary partitioner."""
+
+from .combine import combine, overlay_labels
+from .exchange import rumor_exchange
+from .kaffpae import KaffpaeOptions, kaffpae_partition
+from .mutation import mutate_perturb, mutate_vcycle
+from .population import Individual, Population
+
+__all__ = [
+    "Individual",
+    "KaffpaeOptions",
+    "Population",
+    "combine",
+    "kaffpae_partition",
+    "mutate_perturb",
+    "mutate_vcycle",
+    "overlay_labels",
+    "rumor_exchange",
+]

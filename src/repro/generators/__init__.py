@@ -1,0 +1,31 @@
+"""Benchmark graph generators (scaled Table I stand-ins and families)."""
+
+from .ba import barabasi_albert, powerlaw_cluster
+from .delaunay import delaunay, delaunay_graph
+from .mesh import grid_2d, grid_3d, torus_2d
+from .planted import planted_partition
+from .rgg import random_geometric_graph, rgg, rgg_radius
+from .rmat import rmat
+from .suite import INSTANCES, Instance, family_instance, instance_names, load_instance
+from .webgraph import web_copy_graph
+
+__all__ = [
+    "INSTANCES",
+    "Instance",
+    "barabasi_albert",
+    "delaunay",
+    "delaunay_graph",
+    "family_instance",
+    "grid_2d",
+    "grid_3d",
+    "instance_names",
+    "load_instance",
+    "planted_partition",
+    "powerlaw_cluster",
+    "random_geometric_graph",
+    "rgg",
+    "rgg_radius",
+    "rmat",
+    "torus_2d",
+    "web_copy_graph",
+]

@@ -1,0 +1,60 @@
+"""Regular mesh generators: grids and tori.
+
+Stand-ins for the paper's numeric-simulation instances (``packing``,
+``channel``, ``hugebubble``, ``nlpkkt240``) which are all mesh-type
+networks: bounded degree, strong locality, good geometric separators, no
+community structure.  2D/3D grids and tori reproduce exactly those
+properties.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.build import from_coo
+from ..graph.csr import Graph
+
+__all__ = ["grid_2d", "grid_3d", "torus_2d"]
+
+
+def _grid_edges(shape: tuple[int, ...], wrap: bool) -> tuple[np.ndarray, np.ndarray]:
+    """COO edge arrays connecting lattice neighbours along each axis."""
+    coords = np.indices(shape).reshape(len(shape), -1)
+    strides = np.array([int(np.prod(shape[i + 1 :])) for i in range(len(shape))])
+    flat = (coords * strides[:, None]).sum(axis=0)
+    rows = []
+    cols = []
+    for axis, extent in enumerate(shape):
+        if extent < 2:
+            continue
+        shifted = coords.copy()
+        if wrap and extent > 2:
+            shifted[axis] = (coords[axis] + 1) % extent
+            mask = np.ones(flat.size, dtype=bool)
+        else:
+            shifted[axis] = coords[axis] + 1
+            mask = coords[axis] + 1 < extent
+        neighbour = (shifted * strides[:, None]).sum(axis=0)
+        rows.append(flat[mask])
+        cols.append(neighbour[mask])
+    if rows:
+        return np.concatenate(rows), np.concatenate(cols)
+    return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+
+
+def grid_2d(rows: int, cols: int, name: str | None = None) -> Graph:
+    """4-connected ``rows x cols`` grid."""
+    r, c = _grid_edges((rows, cols), wrap=False)
+    return from_coo(rows * cols, r, c, name=name or f"grid{rows}x{cols}")
+
+
+def torus_2d(rows: int, cols: int, name: str | None = None) -> Graph:
+    """``rows x cols`` torus (grid with wraparound, all degrees 4)."""
+    r, c = _grid_edges((rows, cols), wrap=True)
+    return from_coo(rows * cols, r, c, name=name or f"torus{rows}x{cols}")
+
+
+def grid_3d(nx: int, ny: int, nz: int, name: str | None = None) -> Graph:
+    """6-connected 3D grid (the FEM-mesh stand-in)."""
+    r, c = _grid_edges((nx, ny, nz), wrap=False)
+    return from_coo(nx * ny * nz, r, c, name=name or f"grid{nx}x{ny}x{nz}")

@@ -1,0 +1,107 @@
+"""Random geometric graphs (the paper's ``rggX`` family).
+
+``rggX`` is a random geometric graph with ``2^X`` nodes: nodes are random
+points in the unit square and edges connect pairs at Euclidean distance
+below ``0.55 * sqrt(ln n / n)`` — the paper's threshold, chosen so the
+graph is almost certainly connected (Section V-A, Table I).
+
+The implementation uses the standard grid-cell technique: the unit square
+is tiled with cells of side >= radius, so all neighbours of a point lie in
+its own or the eight surrounding cells.  Candidate pairs are generated
+cell-against-neighbour-cell with vectorised distance checks, giving the
+expected O(n) work of the textbook algorithm rather than the naive O(n^2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.build import from_coo
+from ..graph.csr import Graph
+
+__all__ = ["rgg", "random_geometric_graph", "rgg_radius"]
+
+
+def rgg_radius(num_nodes: int) -> float:
+    """The paper's connectivity radius ``0.55 * sqrt(ln n / n)``."""
+    if num_nodes < 2:
+        return 1.0
+    return 0.55 * float(np.sqrt(np.log(num_nodes) / num_nodes))
+
+
+def random_geometric_graph(
+    num_nodes: int,
+    radius: float | None = None,
+    seed: int = 0,
+    name: str | None = None,
+    return_positions: bool = False,
+) -> Graph | tuple[Graph, np.ndarray]:
+    """Random geometric graph on ``num_nodes`` uniform points in the unit square.
+
+    Parameters
+    ----------
+    radius:
+        Connection radius; defaults to the paper's :func:`rgg_radius`.
+    return_positions:
+        Also return the ``(n, 2)`` coordinate array (used by the examples
+        and by the geometric initial-partitioning baseline).
+    """
+    rng = np.random.default_rng(seed)
+    pos = rng.random((num_nodes, 2))
+    r = rgg_radius(num_nodes) if radius is None else float(radius)
+
+    cells_per_side = max(1, int(1.0 / r))
+    cell = np.minimum((pos * cells_per_side).astype(np.int64), cells_per_side - 1)
+    cell_id = cell[:, 0] * cells_per_side + cell[:, 1]
+    order = np.argsort(cell_id, kind="stable")
+    sorted_ids = cell_id[order]
+    # Start offset of every cell in the sorted node order.
+    starts = np.searchsorted(sorted_ids, np.arange(cells_per_side * cells_per_side + 1))
+
+    rows: list[np.ndarray] = []
+    cols: list[np.ndarray] = []
+    r2 = r * r
+    # Half of the 8-neighbourhood (plus self-cell) suffices: each unordered
+    # cell pair is visited once.
+    offsets = ((0, 0), (0, 1), (1, -1), (1, 0), (1, 1))
+    for cx in range(cells_per_side):
+        for dx, dy in offsets:
+            nx = cx + dx
+            if nx >= cells_per_side:
+                continue
+            for cy in range(cells_per_side):
+                ny = cy + dy
+                if not (0 <= ny < cells_per_side):
+                    continue
+                a_lo, a_hi = starts[cx * cells_per_side + cy], starts[cx * cells_per_side + cy + 1]
+                b_lo, b_hi = starts[nx * cells_per_side + ny], starts[nx * cells_per_side + ny + 1]
+                if a_hi == a_lo or b_hi == b_lo:
+                    continue
+                a_nodes = order[a_lo:a_hi]
+                b_nodes = order[b_lo:b_hi]
+                diff = pos[a_nodes, None, :] - pos[None, b_nodes, :]
+                close = (diff[..., 0] ** 2 + diff[..., 1] ** 2) <= r2
+                if dx == 0 and dy == 0:
+                    close = np.triu(close, k=1)  # avoid self pairs and duplicates
+                ai, bi = np.nonzero(close)
+                if ai.size:
+                    rows.append(a_nodes[ai])
+                    cols.append(b_nodes[bi])
+
+    if rows:
+        row_arr = np.concatenate(rows)
+        col_arr = np.concatenate(cols)
+    else:
+        row_arr = np.empty(0, dtype=np.int64)
+        col_arr = np.empty(0, dtype=np.int64)
+    graph = from_coo(num_nodes, row_arr, col_arr, name=name or f"rgg-n{num_nodes}")
+    if return_positions:
+        return graph, pos
+    return graph
+
+
+def rgg(exponent: int, seed: int = 0, **kwargs) -> Graph:
+    """The paper's ``rggX`` notation: a random geometric graph on ``2^X`` nodes."""
+    return random_geometric_graph(
+        2**exponent, seed=seed, name=f"rgg{exponent}", **kwargs
+    )

@@ -1,0 +1,139 @@
+"""Copying-model web graphs — stand-ins for the WebGraph crawls.
+
+The paper's hardest instances (uk-2007, sk-2005, arabic-2005, eu-2005,
+in-2004) are web crawls with three structural properties that drive every
+experiment:
+
+* **power-law degrees with extreme hubs** — produced by the Kumar et al.
+  *copying model*: each new page picks a prototype and copies its links
+  with probability ``copy_probability`` (copying is implicit preferential
+  attachment);
+* **strong host-level community structure** — we plant hosts: pages pick
+  prototypes within their host and only ``inter_host_probability`` of
+  non-copied links leave it.  Cluster contraction collapses these
+  communities by orders of magnitude per level;
+* **a large leaf fringe attached to hubs** — a ``leaf_fraction`` of pages
+  carry only 1–2 links, chosen *preferentially* (urn of edge endpoints),
+  so thousands of leaves share a handful of hubs.  This is exactly what
+  stalls matching-based coarsening: a hub star contributes one matched
+  edge per level and every other leaf stays a singleton — the mechanism
+  behind ParMetis's "less than a factor of two reduction" on uk-2007 and
+  the resulting out-of-memory failures (Section V-B).
+
+Linking each page to its prototype turns copied links into triangles,
+giving the high local clustering measured on real crawls.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.build import from_edges
+from ..graph.csr import Graph
+
+__all__ = ["web_copy_graph"]
+
+
+def web_copy_graph(
+    num_nodes: int,
+    out_degree: int = 7,
+    copy_probability: float = 0.7,
+    hosts: int | None = None,
+    inter_host_probability: float = 0.05,
+    leaf_fraction: float = 0.45,
+    seed: int = 0,
+    name: str | None = None,
+) -> Graph:
+    """Generate a web-crawl-like graph with planted host communities.
+
+    Parameters
+    ----------
+    num_nodes:
+        Total number of pages.
+    out_degree:
+        Links added per new *core* page.
+    copy_probability:
+        Probability of copying a prototype link instead of a random one.
+    hosts:
+        Number of host communities (default ``max(4, num_nodes // 256)``).
+    inter_host_probability:
+        Probability that a non-copied link leaves the page's host.
+    leaf_fraction:
+        Fraction of pages that are leaves: 1–2 links, chosen
+        preferentially (they pile onto hubs).
+    """
+    if hosts is None:
+        hosts = max(4, num_nodes // 256)
+    hosts = min(hosts, max(1, num_nodes // 8))
+    if not (0.0 <= leaf_fraction < 1.0):
+        raise ValueError("leaf_fraction must be in [0, 1)")
+    rng = np.random.default_rng(seed)
+
+    host_of = rng.integers(0, hosts, size=num_nodes)
+    members: list[list[int]] = [[] for _ in range(hosts)]  # core pages per host
+    urns: list[list[int]] = [[] for _ in range(hosts)]  # edge endpoints per host
+    adjacency: list[list[int]] = [[] for _ in range(num_nodes)]
+    edges: list[tuple[int, int]] = []
+
+    def add_edge(u: int, v: int) -> None:
+        edges.append((u, v))
+        adjacency[u].append(v)
+        adjacency[v].append(u)
+        urn = urns[host_of[u]]
+        urn.append(u)
+        urn.append(v)
+
+    seed_count = min(num_nodes, max(out_degree + 1, 8))
+    for v in range(seed_count):
+        members[host_of[v]].append(v)
+        for u in range(max(0, v - out_degree), v):
+            add_edge(u, v)
+
+    for v in range(seed_count, num_nodes):
+        my_host = int(host_of[v])
+        local = members[my_host]
+        urn = urns[my_host]
+        is_leaf = rng.random() < leaf_fraction
+
+        if is_leaf and urn:
+            # Leaf page: 1-2 preferential links within the host (leaves
+            # pile onto the host's hubs; they never become prototypes).
+            count = 1 if rng.random() < 0.75 else 2
+            targets: set[int] = set()
+            for _ in range(4 * count):
+                t = int(urn[rng.integers(0, len(urn))])
+                if t != v:
+                    targets.add(t)
+                if len(targets) >= count:
+                    break
+            if not targets:
+                targets.add(v - 1)
+            for t in targets:
+                add_edge(v, t)
+            continue
+
+        prototype = int(local[rng.integers(0, len(local))]) if local else int(rng.integers(0, v))
+        proto_links = adjacency[prototype]
+        targets = set()
+        # Linking to the prototype itself turns every copied link into a
+        # triangle (page + prototype + shared target).
+        if prototype != v:
+            targets.add(prototype)
+        attempts = 0
+        while len(targets) < out_degree and attempts < 8 * out_degree:
+            attempts += 1
+            if proto_links and rng.random() < copy_probability:
+                t = int(proto_links[rng.integers(0, len(proto_links))])
+            elif local and rng.random() >= inter_host_probability:
+                t = int(local[rng.integers(0, len(local))])
+            else:
+                t = int(rng.integers(0, v))
+            if t != v:
+                targets.add(t)
+        if not targets:
+            targets.add(v - 1)
+        for t in targets:
+            add_edge(v, t)
+        members[my_host].append(v)
+
+    return from_edges(num_nodes, edges, name=name or f"web-n{num_nodes}")

@@ -1,0 +1,233 @@
+"""Compressed-sparse-row graph data structure.
+
+This module provides :class:`Graph`, the central immutable graph type used
+throughout the library.  It mirrors the adjacency-array representation the
+paper uses (one array of edge targets and one array of per-node head
+pointers, Section IV-A) and keeps node and edge weights in parallel NumPy
+arrays so that the O(n + m) kernels (label propagation, contraction,
+matching) can run as vectorised array programs instead of per-edge Python
+loops.
+
+Conventions
+-----------
+* Graphs are *undirected*: every edge ``{u, v}`` is stored twice, once in
+  each endpoint's adjacency list.  ``num_edges`` counts undirected edges,
+  ``num_arcs = 2 * num_edges`` counts stored directed arcs.
+* Self-loops are not allowed (the multilevel scheme drops them during
+  contraction, exactly as the paper's quotient-graph definition does).
+* Node and edge weights are 64-bit integers.  The contraction scheme sums
+  weights, so integer arithmetic keeps cut values exact across the whole
+  multilevel hierarchy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["Graph", "GraphError"]
+
+_INDEX_DTYPE = np.int64
+_WEIGHT_DTYPE = np.int64
+
+
+class GraphError(ValueError):
+    """Raised when graph arrays are structurally invalid."""
+
+
+@dataclass(frozen=True)
+class Graph:
+    """An undirected weighted graph in CSR (adjacency array) form.
+
+    Attributes
+    ----------
+    xadj:
+        Head-pointer array of length ``n + 1``; the neighbours of node
+        ``v`` are ``adjncy[xadj[v]:xadj[v+1]]``.
+    adjncy:
+        Concatenated adjacency lists (length ``2m``).
+    vwgt:
+        Node weights, length ``n``.
+    adjwgt:
+        Edge weights parallel to ``adjncy`` (the weight of arc
+        ``(v, adjncy[i])`` is ``adjwgt[i]``; both stored copies of an
+        undirected edge carry the same weight).
+    """
+
+    xadj: np.ndarray
+    adjncy: np.ndarray
+    vwgt: np.ndarray
+    adjwgt: np.ndarray
+    name: str = field(default="graph", compare=False)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "xadj", np.ascontiguousarray(self.xadj, dtype=_INDEX_DTYPE))
+        object.__setattr__(self, "adjncy", np.ascontiguousarray(self.adjncy, dtype=_INDEX_DTYPE))
+        object.__setattr__(self, "vwgt", np.ascontiguousarray(self.vwgt, dtype=_WEIGHT_DTYPE))
+        object.__setattr__(self, "adjwgt", np.ascontiguousarray(self.adjwgt, dtype=_WEIGHT_DTYPE))
+        if self.xadj.ndim != 1 or self.xadj.size == 0:
+            raise GraphError("xadj must be a 1-d array of length n + 1")
+        if self.xadj[0] != 0:
+            raise GraphError("xadj must start at 0")
+        if self.xadj[-1] != self.adjncy.size:
+            raise GraphError(
+                f"xadj[-1] ({self.xadj[-1]}) must equal len(adjncy) ({self.adjncy.size})"
+            )
+        if np.any(np.diff(self.xadj) < 0):
+            raise GraphError("xadj must be non-decreasing")
+        if self.vwgt.size != self.num_nodes:
+            raise GraphError("vwgt must have length n")
+        if self.adjwgt.size != self.adjncy.size:
+            raise GraphError("adjwgt must be parallel to adjncy")
+        if self.adjncy.size and (
+            self.adjncy.min() < 0 or self.adjncy.max() >= self.num_nodes
+        ):
+            raise GraphError("adjncy contains out-of-range node ids")
+
+    @classmethod
+    def from_csr(
+        cls,
+        xadj: np.ndarray,
+        adjncy: np.ndarray,
+        vwgt: np.ndarray | None = None,
+        adjwgt: np.ndarray | None = None,
+        name: str = "graph",
+    ) -> "Graph":
+        """Build a graph from raw CSR arrays, defaulting to unit weights."""
+        xadj = np.asarray(xadj, dtype=_INDEX_DTYPE)
+        adjncy = np.asarray(adjncy, dtype=_INDEX_DTYPE)
+        n = xadj.size - 1
+        if vwgt is None:
+            vwgt = np.ones(n, dtype=_WEIGHT_DTYPE)
+        if adjwgt is None:
+            adjwgt = np.ones(adjncy.size, dtype=_WEIGHT_DTYPE)
+        return cls(xadj, adjncy, vwgt, adjwgt, name=name)
+
+    # ------------------------------------------------------------------
+    # Size properties
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes ``n``."""
+        return int(self.xadj.size - 1)
+
+    @property
+    def num_arcs(self) -> int:
+        """Number of stored directed arcs (``2m`` for a symmetric graph)."""
+        return int(self.adjncy.size)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges ``m``."""
+        return self.num_arcs // 2
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Unweighted node degrees (length ``n``)."""
+        return np.diff(self.xadj)
+
+    @property
+    def total_node_weight(self) -> int:
+        """``c(V)`` — the sum of all node weights."""
+        return int(self.vwgt.sum())
+
+    @property
+    def total_edge_weight(self) -> int:
+        """``omega(E)`` — the sum of all undirected edge weights."""
+        return int(self.adjwgt.sum()) // 2
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def neighbors(self, v: int) -> np.ndarray:
+        """Neighbours of ``v`` as a zero-copy view into ``adjncy``."""
+        return self.adjncy[self.xadj[v] : self.xadj[v + 1]]
+
+    def incident_weights(self, v: int) -> np.ndarray:
+        """Weights of the arcs leaving ``v`` (parallel to :meth:`neighbors`)."""
+        return self.adjwgt[self.xadj[v] : self.xadj[v + 1]]
+
+    def degree(self, v: int) -> int:
+        """Unweighted degree of ``v``."""
+        return int(self.xadj[v + 1] - self.xadj[v])
+
+    def weighted_degree(self, v: int) -> int:
+        """Sum of the weights of the arcs leaving ``v``."""
+        return int(self.incident_weights(v).sum())
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the undirected edge ``{u, v}`` is present."""
+        return bool(np.any(self.neighbors(u) == v))
+
+    def edges(self) -> Iterator[tuple[int, int, int]]:
+        """Iterate over undirected edges as ``(u, v, weight)`` with ``u < v``.
+
+        Intended for tests and I/O, not for hot paths.
+        """
+        sources = self.arc_sources()
+        for idx in range(self.num_arcs):
+            u = int(sources[idx])
+            v = int(self.adjncy[idx])
+            if u < v:
+                yield u, v, int(self.adjwgt[idx])
+
+    def arc_sources(self) -> np.ndarray:
+        """Source node of every stored arc (length ``2m``), vectorised."""
+        return np.repeat(np.arange(self.num_nodes, dtype=_INDEX_DTYPE), self.degrees)
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def with_weights(
+        self, vwgt: np.ndarray | None = None, adjwgt: np.ndarray | None = None
+    ) -> "Graph":
+        """Copy of this graph with node and/or edge weights replaced."""
+        return Graph(
+            self.xadj,
+            self.adjncy,
+            self.vwgt if vwgt is None else np.asarray(vwgt, dtype=_WEIGHT_DTYPE),
+            self.adjwgt if adjwgt is None else np.asarray(adjwgt, dtype=_WEIGHT_DTYPE),
+            name=self.name,
+        )
+
+    def sorted_adjacency(self) -> "Graph":
+        """Copy with every adjacency list sorted by neighbour id.
+
+        Sorted lists make ``has_edge`` and comparisons deterministic; the
+        partitioning kernels themselves do not require sorted lists.
+        """
+        adjncy = self.adjncy.copy()
+        adjwgt = self.adjwgt.copy()
+        for v in range(self.num_nodes):
+            lo, hi = self.xadj[v], self.xadj[v + 1]
+            order = np.argsort(adjncy[lo:hi], kind="stable")
+            adjncy[lo:hi] = adjncy[lo:hi][order]
+            adjwgt[lo:hi] = adjwgt[lo:hi][order]
+        return Graph(self.xadj, adjncy, self.vwgt, adjwgt, name=self.name)
+
+    # ------------------------------------------------------------------
+    # Dunder helpers
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Graph(name={self.name!r}, n={self.num_nodes}, m={self.num_edges}, "
+            f"c(V)={self.total_node_weight}, w(E)={self.total_edge_weight})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return (
+            np.array_equal(self.xadj, other.xadj)
+            and np.array_equal(self.adjncy, other.adjncy)
+            and np.array_equal(self.vwgt, other.vwgt)
+            and np.array_equal(self.adjwgt, other.adjwgt)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.num_nodes, self.num_arcs, int(self.vwgt.sum()), int(self.adjwgt.sum())))

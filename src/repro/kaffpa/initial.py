@@ -1,0 +1,237 @@
+"""Initial partitioning algorithms for the coarsest graph.
+
+The multilevel engines only ever run these on graphs of a few hundred
+nodes, so simplicity and solution quality matter more than asymptotics.
+Provided algorithms (all standard KaHIP/Metis building blocks):
+
+* :func:`random_balanced_partition` — shuffle nodes, fill blocks greedily
+  by weight (baseline and fallback);
+* :func:`greedy_graph_growing_bisection` — BFS-like region growing from a
+  random seed, always absorbing the frontier node with the best gain,
+  until half the total weight is absorbed;
+* :func:`recursive_bisection` — k-way via recursive application of a
+  bisector (the PT-Scotch approach; also used by the baselines);
+* :func:`region_growing_partition` — direct k-way growing from k seeds;
+* :func:`best_of` — repetition wrapper that keeps the best balanced result.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+import numpy as np
+
+from ..graph.csr import Graph
+from ..graph.ops import induced_subgraph
+from ..graph.validation import max_block_weight_bound
+from ..metrics.quality import edge_cut
+
+__all__ = [
+    "random_balanced_partition",
+    "greedy_graph_growing_bisection",
+    "recursive_bisection",
+    "region_growing_partition",
+    "coordinate_bisection",
+    "best_of",
+]
+
+
+def coordinate_bisection(positions: np.ndarray, k: int) -> np.ndarray:
+    """Geometric prepartition by recursive coordinate bisection.
+
+    Splits the point set along its longest coordinate axis at the
+    weighted median, recursively, until ``k`` blocks exist — the
+    "geographic initialisation" the paper suggests feeding into the
+    first V-cycle.  Requires node positions, not the graph.
+    """
+    positions = np.asarray(positions, dtype=np.float64)
+    n = positions.shape[0]
+    partition = np.zeros(n, dtype=np.int64)
+
+    def recurse(indices: np.ndarray, first_block: int, blocks: int) -> None:
+        if blocks == 1 or indices.size == 0:
+            partition[indices] = first_block
+            return
+        pts = positions[indices]
+        spans = pts.max(axis=0) - pts.min(axis=0)
+        axis = int(np.argmax(spans))
+        order = indices[np.argsort(pts[:, axis], kind="stable")]
+        left_blocks = blocks // 2
+        split = indices.size * left_blocks // blocks
+        recurse(order[:split], first_block, left_blocks)
+        recurse(order[split:], first_block + left_blocks, blocks - left_blocks)
+
+    recurse(np.arange(n, dtype=np.int64), 0, k)
+    return partition
+
+
+def random_balanced_partition(
+    graph: Graph, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Assign shuffled nodes to the currently lightest block (weight-aware)."""
+    order = rng.permutation(graph.num_nodes)
+    partition = np.empty(graph.num_nodes, dtype=np.int64)
+    loads = [(0, b) for b in range(k)]
+    heapq.heapify(loads)
+    vwgt = graph.vwgt
+    for v in order.tolist():
+        load, block = heapq.heappop(loads)
+        partition[v] = block
+        heapq.heappush(loads, (load + int(vwgt[v]), block))
+    return partition
+
+
+def greedy_graph_growing_bisection(
+    graph: Graph, rng: np.random.Generator, target_weight: int | None = None
+) -> np.ndarray:
+    """Grow block 0 from a random seed until it reaches ``target_weight``.
+
+    The frontier is a max-heap on gain (external minus internal edge
+    weight of absorbing the node) — the classic greedy graph growing of
+    Metis.  Unreached nodes (disconnected pieces) are absorbed into the
+    lighter side at the end.
+    """
+    n = graph.num_nodes
+    if target_weight is None:
+        target_weight = graph.total_node_weight // 2
+    partition = np.ones(n, dtype=np.int64)
+    if n == 0:
+        return partition
+    in_block = np.zeros(n, dtype=bool)
+    grown_weight = 0
+    seed = int(rng.integers(0, n))
+    # heap of (-gain, tiebreak, node); lazily revalidated
+    counter = 0
+    heap: list[tuple[int, int, int]] = [(0, counter, seed)]
+    gain_of = {seed: 0}
+
+    def push_neighbors(v: int) -> None:
+        nonlocal counter
+        for u, w in zip(graph.neighbors(v).tolist(), graph.incident_weights(v).tolist()):
+            if in_block[u]:
+                continue
+            gain_of[u] = gain_of.get(u, 0) + int(w)
+            counter += 1
+            heapq.heappush(heap, (-gain_of[u], counter, u))
+
+    while heap and grown_weight < target_weight:
+        neg_gain, _, v = heapq.heappop(heap)
+        if in_block[v] or gain_of.get(v, 0) != -neg_gain:
+            continue  # stale entry
+        if grown_weight + int(graph.vwgt[v]) > target_weight and grown_weight > 0:
+            continue  # would overshoot; try a lighter frontier node
+        in_block[v] = True
+        grown_weight += int(graph.vwgt[v])
+        push_neighbors(v)
+
+    partition[in_block] = 0
+    # Absorb any unreached component into the lighter side.
+    if grown_weight < target_weight:
+        unreached = ~in_block & ~np.isin(np.arange(n), list(gain_of))
+        for v in np.flatnonzero(unreached).tolist():
+            if grown_weight + int(graph.vwgt[v]) <= target_weight:
+                partition[v] = 0
+                grown_weight += int(graph.vwgt[v])
+    return partition
+
+
+def recursive_bisection(
+    graph: Graph,
+    k: int,
+    rng: np.random.Generator,
+    bisector: Callable[[Graph, np.random.Generator, int], np.ndarray] | None = None,
+) -> np.ndarray:
+    """k-way partition by recursively bisecting with weight ratio ⌊k/2⌋:⌈k/2⌉."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    bisect = bisector or greedy_graph_growing_bisection
+    partition = np.zeros(graph.num_nodes, dtype=np.int64)
+
+    def recurse(sub: Graph, nodes: np.ndarray, first_block: int, blocks: int) -> None:
+        if blocks == 1 or sub.num_nodes == 0:
+            partition[nodes] = first_block
+            return
+        left_blocks = blocks // 2
+        target = sub.total_node_weight * left_blocks // blocks
+        halves = bisect(sub, rng, target)
+        left_nodes = nodes[halves == 0]
+        right_nodes = nodes[halves == 1]
+        left_sub, _ = induced_subgraph(sub, np.flatnonzero(halves == 0))
+        right_sub, _ = induced_subgraph(sub, np.flatnonzero(halves == 1))
+        recurse(left_sub, left_nodes, first_block, left_blocks)
+        recurse(right_sub, right_nodes, first_block + left_blocks, blocks - left_blocks)
+
+    recurse(graph, np.arange(graph.num_nodes, dtype=np.int64), 0, k)
+    return partition
+
+
+def region_growing_partition(graph: Graph, k: int, rng: np.random.Generator) -> np.ndarray:
+    """Direct k-way growing: k random seeds expand in weight-balanced turns."""
+    n = graph.num_nodes
+    partition = np.full(n, -1, dtype=np.int64)
+    if n == 0:
+        return partition
+    seeds = rng.choice(n, size=min(k, n), replace=False)
+    frontiers: list[list[int]] = [[] for _ in range(k)]
+    weights = [0] * k
+    for b, s in enumerate(seeds.tolist()):
+        partition[s] = b
+        weights[b] += int(graph.vwgt[s])
+        frontiers[b] = graph.neighbors(s).tolist()
+    remaining = n - len(seeds)
+    while remaining > 0:
+        # Lightest block grows next — keeps the blocks balanced by weight.
+        grower = min(range(k), key=lambda b: weights[b])
+        grabbed = False
+        frontier = frontiers[grower]
+        while frontier:
+            v = frontier.pop()
+            if partition[v] == -1:
+                partition[v] = grower
+                weights[grower] += int(graph.vwgt[v])
+                frontier.extend(
+                    u for u in graph.neighbors(v).tolist() if partition[u] == -1
+                )
+                remaining -= 1
+                grabbed = True
+                break
+        if not grabbed:
+            # Frontier exhausted (disconnected): seed from any free node.
+            free = np.flatnonzero(partition == -1)
+            if free.size == 0:
+                break
+            v = int(free[rng.integers(0, free.size)])
+            partition[v] = grower
+            weights[grower] += int(graph.vwgt[v])
+            frontiers[grower] = graph.neighbors(v).tolist()
+            remaining -= 1
+    return partition
+
+
+def best_of(
+    graph: Graph,
+    k: int,
+    epsilon: float,
+    rng: np.random.Generator,
+    attempts: int = 4,
+    partitioner: Callable[[Graph, int, np.random.Generator], np.ndarray] | None = None,
+) -> np.ndarray:
+    """Run ``partitioner`` several times; keep the best (preferring balance).
+
+    Candidates within ``Lmax`` are ranked by cut; if no attempt is
+    balanced (possible on pathological coarse graphs with huge node
+    weights), the least-imbalanced attempt wins.
+    """
+    partitioner = partitioner or recursive_bisection
+    lmax = max_block_weight_bound(graph, k, epsilon)
+    best: np.ndarray | None = None
+    best_key: tuple[int, int] | None = None
+    for _ in range(max(1, attempts)):
+        candidate = partitioner(graph, k, rng)
+        heaviest = int(np.bincount(candidate, weights=graph.vwgt, minlength=k).max())
+        key = (max(0, heaviest - lmax), edge_cut(graph, candidate))
+        if best_key is None or key < best_key:
+            best, best_key = candidate, key
+    assert best is not None
+    return best

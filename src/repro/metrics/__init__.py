@@ -1,0 +1,27 @@
+"""Partition and clustering quality metrics."""
+
+from .modularity import modularity
+from .quality import (
+    PartitionQuality,
+    boundary_nodes,
+    communication_volume,
+    cut_edges_mask,
+    edge_cut,
+    evaluate_partition,
+    imbalance,
+    max_communication_volume,
+    max_quotient_degree,
+)
+
+__all__ = [
+    "PartitionQuality",
+    "boundary_nodes",
+    "communication_volume",
+    "cut_edges_mask",
+    "edge_cut",
+    "evaluate_partition",
+    "imbalance",
+    "max_communication_volume",
+    "max_quotient_degree",
+    "modularity",
+]

@@ -1,0 +1,18 @@
+"""Machine, time, and memory models for the simulated cluster."""
+
+from .machine import MACHINE_A, MACHINE_B, SERIAL, Machine
+from .memory import MemoryBudget, OutOfMemoryError, estimate_graph_bytes
+from .profiling import HotSpot, hotspots, profile_call
+
+__all__ = [
+    "HotSpot",
+    "MACHINE_A",
+    "MACHINE_B",
+    "SERIAL",
+    "Machine",
+    "MemoryBudget",
+    "OutOfMemoryError",
+    "estimate_graph_bytes",
+    "hotspots",
+    "profile_call",
+]

@@ -1,0 +1,109 @@
+"""Machine models for the two evaluation systems of the paper.
+
+The paper runs on:
+
+* **Machine A** — one shared-memory node: 4x Intel Xeon E5-4640 octa-core
+  (32 cores, 2.4 GHz), 512 GB RAM.  Used for the quality tables
+  (Tables II/III).
+* **Machine B** — a cluster of 2x E5-2670 octa-core nodes (2.6 GHz),
+  64 GB per node, InfiniBand 4X QDR (latency ~1 us, >3700 MB/s point to
+  point).  Used for the scaling studies (Figures 5/6).
+
+A :class:`Machine` converts the runtime's counted work and communication
+into simulated seconds with a classic alpha–beta model:
+
+``t_compute = work_units * seconds_per_unit``
+``t_message = alpha + bytes * beta``
+``t_collective = alpha * ceil(log2 p) + recv_bytes * beta``
+
+The absolute constants are calibrated so that sequential partitioning of
+a scaled instance lands in the right order of magnitude relative to the
+paper's Table II times; only *relative* behaviour (scaling curves,
+crossovers) is meaningful, which is all the figures assert.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["Machine", "MACHINE_A", "MACHINE_B", "SERIAL"]
+
+
+@dataclass(frozen=True)
+class Machine:
+    """Alpha–beta-latency machine model plus a per-PE memory budget."""
+
+    name: str
+    seconds_per_work_unit: float  # one unit ~ one edge traversal
+    alpha_seconds: float  # per-message latency
+    beta_seconds_per_byte: float  # inverse bandwidth
+    memory_per_node_bytes: float  # RAM of one physical node
+    cores_per_node: int  # PEs that share one node's RAM when fully packed
+    max_pes: int
+
+    @property
+    def memory_per_pe_bytes(self) -> float:
+        """Per-PE budget at full node occupancy."""
+        return self.memory_per_node_bytes / self.cores_per_node
+
+    def memory_per_pe(self, num_pes: int) -> float:
+        """Per-PE budget when only ``num_pes`` PEs run in total.
+
+        Fewer PEs than cores per node leave the node's RAM shared among
+        fewer processes — the reason the paper can run uk-2002 with one
+        PE on a 64 GB node even though 1/16 of the node would not fit it.
+        """
+        sharing = min(self.cores_per_node, max(1, num_pes))
+        return self.memory_per_node_bytes / sharing
+
+    def compute_time(self, work_units: float) -> float:
+        """Simulated seconds for ``work_units`` of local computation."""
+        return work_units * self.seconds_per_work_unit
+
+    def message_time(self, num_messages: int, num_bytes: float) -> float:
+        """Simulated seconds for a point-to-point exchange round."""
+        return num_messages * self.alpha_seconds + num_bytes * self.beta_seconds_per_byte
+
+    def collective_time(self, size: int, recv_bytes: float) -> float:
+        """Simulated seconds for one collective over ``size`` PEs."""
+        if size <= 1:
+            return 0.0
+        rounds = math.ceil(math.log2(size))
+        return rounds * self.alpha_seconds + recv_bytes * self.beta_seconds_per_byte
+
+
+#: Machine A — 32-core shared-memory node, 512 GB.  Intra-node "messages"
+#: are memory copies: tiny latency, huge bandwidth.  The per-PE memory
+#: budget is the node total divided among 32 PEs.
+MACHINE_A = Machine(
+    name="machine-A",
+    seconds_per_work_unit=2.0e-8,
+    alpha_seconds=2.0e-7,
+    beta_seconds_per_byte=1.0e-10,
+    memory_per_node_bytes=512e9,
+    cores_per_node=32,
+    max_pes=32,
+)
+
+#: Machine B — InfiniBand cluster, 64 GB per 16-core node.
+MACHINE_B = Machine(
+    name="machine-B",
+    seconds_per_work_unit=1.8e-8,
+    alpha_seconds=1.0e-6,
+    beta_seconds_per_byte=1.0 / 3700e6,
+    memory_per_node_bytes=64e9,
+    cores_per_node=16,
+    max_pes=2048,
+)
+
+#: Degenerate model for plain sequential runs (no simulated costs).
+SERIAL = Machine(
+    name="serial",
+    seconds_per_work_unit=0.0,
+    alpha_seconds=0.0,
+    beta_seconds_per_byte=0.0,
+    memory_per_node_bytes=float("inf"),
+    cores_per_node=1,
+    max_pes=1,
+)

@@ -1,0 +1,56 @@
+"""Profiling helpers (the optimisation-workflow discipline of the guides:
+measure before you optimise).
+
+`profile_call` wraps any callable in :mod:`cProfile` and returns the top
+functions by cumulative time; `hotspots` renders them as a small table.
+The partitioner's hot paths (LP scans, contraction group-bys) were tuned
+against exactly this output.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from dataclasses import dataclass
+from typing import Any, Callable
+
+__all__ = ["HotSpot", "profile_call", "hotspots"]
+
+
+@dataclass(frozen=True)
+class HotSpot:
+    """One row of a profile: where time went."""
+
+    function: str
+    calls: int
+    cumulative_seconds: float
+    internal_seconds: float
+
+
+def profile_call(
+    fn: Callable[..., Any], *args: Any, top: int = 15, **kwargs: Any
+) -> tuple[Any, list[HotSpot]]:
+    """Run ``fn`` under cProfile; return its result and the top hot spots."""
+    profiler = cProfile.Profile()
+    result = profiler.runcall(fn, *args, **kwargs)
+    stats = pstats.Stats(profiler, stream=io.StringIO())
+    stats.sort_stats(pstats.SortKey.CUMULATIVE)
+    rows: list[HotSpot] = []
+    for func, (cc, nc, tt, ct, _callers) in stats.stats.items():  # type: ignore[attr-defined]
+        filename, line, name = func
+        label = f"{filename.rsplit('/', 1)[-1]}:{line}({name})"
+        rows.append(HotSpot(label, int(nc), float(ct), float(tt)))
+    rows.sort(key=lambda r: r.cumulative_seconds, reverse=True)
+    return result, rows[:top]
+
+
+def hotspots(rows: list[HotSpot]) -> str:
+    """Render hot spots as an aligned text table."""
+    lines = [f"{'cum[s]':>8} {'int[s]':>8} {'calls':>9}  function"]
+    for row in rows:
+        lines.append(
+            f"{row.cumulative_seconds:8.3f} {row.internal_seconds:8.3f} "
+            f"{row.calls:9d}  {row.function}"
+        )
+    return "\n".join(lines)

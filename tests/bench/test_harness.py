@@ -1,0 +1,91 @@
+"""Tests for the benchmark harness (runner + formatters)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.bench import (
+    AggregatedRow,
+    bench_seeds,
+    format_series,
+    format_table,
+    geometric_mean,
+    memory_scale_for,
+    run_algorithm,
+)
+from repro.bench.runner import replica_scale_for
+from repro.generators import INSTANCES, load_instance, rgg
+from repro.perf import MACHINE_A
+
+
+class TestAggregation:
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([]) == 0.0
+        assert geometric_mean([0.0, 2.0]) == pytest.approx(2.0)  # zeros skipped
+
+    def test_bench_seeds_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SEEDS", "7")
+        assert bench_seeds() == 7
+        monkeypatch.delenv("REPRO_BENCH_SEEDS")
+        assert bench_seeds(5) == 5
+
+    def test_memory_scale(self):
+        graph = load_instance("amazon")
+        scale = memory_scale_for("amazon", graph)
+        assert scale == pytest.approx(INSTANCES["amazon"].paper_edges / graph.num_edges)
+        assert memory_scale_for("amazon", graph, 2.0) == pytest.approx(2 * scale)
+
+    def test_replica_scale_corrects_fractions(self):
+        graph = load_instance("amazon")
+        base = memory_scale_for("amazon", graph)
+        replica = replica_scale_for("amazon", graph, 40)
+        expected = base * (10_000 / INSTANCES["amazon"].paper_nodes) / (40 / graph.num_nodes)
+        assert replica == pytest.approx(expected)
+
+    def test_oom_row_cells(self):
+        row = AggregatedRow("parmetis", "x", 2, None, None, None, None, oom=True)
+        assert row.cells() == ("*", "*", "*")
+
+
+class TestRunAlgorithm:
+    @pytest.mark.parametrize("algo", ["hash", "random", "scotch", "parmetis", "fast"])
+    def test_each_algorithm_produces_row(self, algo):
+        graph = load_instance("amazon")
+        row = run_algorithm(algo, graph, "amazon", k=2, num_pes=4,
+                            machine=MACHINE_A, seeds=1)
+        assert not row.oom
+        assert row.avg_cut and row.avg_cut > 0
+        assert row.best_cut <= row.avg_cut + 1e-9
+        assert row.avg_time is not None and row.avg_time >= 0
+
+    def test_best_cut_at_most_average(self):
+        graph = load_instance("youtube")
+        row = run_algorithm("fast", graph, "youtube", k=2, num_pes=4,
+                            machine=MACHINE_A, seeds=2)
+        assert row.best_cut <= row.avg_cut
+
+    def test_unknown_algorithm(self):
+        graph = rgg(8, seed=0)
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            run_algorithm("magic", graph, "rgg8", k=2, num_pes=1, seeds=1)
+
+
+class TestFormatters:
+    def test_format_table_alignment(self):
+        out = format_table("T", ["a", "bbb"], [["1", "2"], ["10", "20"]])
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bbb" in lines[1]
+        assert len({len(l) for l in lines[1:]}) == 1  # aligned widths
+
+    def test_format_table_footer(self):
+        out = format_table("T", ["x"], [["1"]], footer=["sum"])
+        assert "sum" in out
+
+    def test_format_series_markers(self):
+        out = format_series("S", "p", {"a": {1: 2.0, 2: None}, "b": {1: 3.0}})
+        assert "*" in out  # None -> OOM marker
+        assert "-" in out  # missing point

@@ -1,0 +1,105 @@
+"""Shared fixtures and hypothesis strategies for the test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+from hypothesis import strategies as st
+
+from repro.graph import Graph, from_edges
+
+# Library-wide hypothesis profile: the kernels under test are O(n + m)
+# array programs, so modest example counts exercise them well without
+# making the suite slow.
+settings.register_profile(
+    "repro",
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+# ----------------------------------------------------------------------
+# Deterministic example graphs
+# ----------------------------------------------------------------------
+
+@pytest.fixture
+def two_triangles() -> Graph:
+    """Two triangles joined by a single bridge edge (classic 2-cut = 1)."""
+    return from_edges(6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+
+
+@pytest.fixture
+def weighted_square() -> Graph:
+    """4-cycle with distinct edge weights 1..4 and node weights 1..4."""
+    return from_edges(
+        4,
+        [(0, 1), (1, 2), (2, 3), (3, 0)],
+        weights=[1, 2, 3, 4],
+        vwgt=np.array([1, 2, 3, 4], dtype=np.int64),
+    )
+
+
+@pytest.fixture
+def karate() -> Graph:
+    """Zachary's karate club (34 nodes, 78 edges) — a tiny social network."""
+    import networkx as nx
+
+    from repro.graph import from_networkx
+
+    return from_networkx(nx.karate_club_graph(), name="karate")
+
+
+# ----------------------------------------------------------------------
+# Hypothesis strategies
+# ----------------------------------------------------------------------
+
+@st.composite
+def random_graphs(
+    draw,
+    min_nodes: int = 1,
+    max_nodes: int = 40,
+    max_weight: int = 8,
+    connected: bool = False,
+) -> Graph:
+    """Strategy producing small random weighted graphs.
+
+    Edges are drawn as an Erdős–Rényi-style subset; when ``connected`` is
+    requested a random spanning tree is added first.
+    """
+    n = draw(st.integers(min_value=min_nodes, max_value=max_nodes))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    density = draw(st.floats(min_value=0.0, max_value=0.35))
+    edges: set[tuple[int, int]] = set()
+    if connected and n > 1:
+        order = rng.permutation(n)
+        for i in range(1, n):
+            u = int(order[rng.integers(0, i)])
+            v = int(order[i])
+            edges.add((min(u, v), max(u, v)))
+    target = int(density * n * (n - 1) / 2)
+    for _ in range(target):
+        u, v = rng.integers(0, n, size=2)
+        if u != v:
+            edges.add((min(int(u), int(v)), max(int(u), int(v))))
+    edge_list = sorted(edges)
+    weights = rng.integers(1, max_weight + 1, size=len(edge_list))
+    vwgt = rng.integers(1, max_weight + 1, size=n)
+    return from_edges(n, edge_list, weights=weights, vwgt=vwgt, name=f"rand{seed % 1000}")
+
+
+@st.composite
+def graphs_with_labels(draw, min_nodes: int = 1, max_nodes: int = 40):
+    """A random graph together with an arbitrary cluster-label array."""
+    graph = draw(random_graphs(min_nodes=min_nodes, max_nodes=max_nodes))
+    labels = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=2 * graph.num_nodes),
+            min_size=graph.num_nodes,
+            max_size=graph.num_nodes,
+        )
+    )
+    return graph, np.asarray(labels, dtype=np.int64)

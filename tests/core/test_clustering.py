@@ -1,0 +1,89 @@
+"""Tests for the multilevel modularity clustering extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.core import cluster_graph, modularity_local_moving
+from repro.generators import planted_partition, random_geometric_graph
+from repro.graph import complete_graph, empty_graph, from_edges
+from repro.metrics import modularity
+
+from ..conftest import random_graphs
+
+
+class TestLocalMoving:
+    def test_merges_obvious_communities(self, two_triangles):
+        start = np.arange(6)
+        moved = modularity_local_moving(two_triangles, start, 8,
+                                        np.random.default_rng(0))
+        assert modularity(two_triangles, moved) >= modularity(two_triangles, start)
+        # triangles should coalesce
+        assert moved[0] == moved[1] == moved[2]
+        assert moved[3] == moved[4] == moved[5]
+
+    def test_stable_on_optimal_input(self, two_triangles):
+        opt = np.array([0, 0, 0, 1, 1, 1])
+        moved = modularity_local_moving(two_triangles, opt, 5,
+                                        np.random.default_rng(1))
+        assert modularity(two_triangles, moved) == pytest.approx(
+            modularity(two_triangles, opt))
+
+    @given(random_graphs(min_nodes=2))
+    def test_never_decreases_modularity(self, graph):
+        start = np.arange(graph.num_nodes)
+        moved = modularity_local_moving(graph, start, 4, np.random.default_rng(2))
+        assert modularity(graph, moved) >= modularity(graph, start) - 1e-12
+
+    def test_empty_graph(self):
+        out = modularity_local_moving(empty_graph(0), np.empty(0, dtype=np.int64),
+                                      3, np.random.default_rng(0))
+        assert out.size == 0
+
+    def test_edgeless_graph_unchanged(self):
+        g = empty_graph(4)
+        start = np.arange(4)
+        out = modularity_local_moving(g, start, 3, np.random.default_rng(0))
+        assert np.array_equal(out, start)
+
+
+class TestClusterGraph:
+    def test_recovers_planted_communities(self):
+        g, truth = planted_partition(8, 64, p_in=0.3, p_out=0.005, seed=0)
+        result = cluster_graph(g, seed=1)
+        assert result.num_clusters == 8
+        assert result.modularity == pytest.approx(modularity(g, truth), abs=0.02)
+
+    def test_geometric_graph_clusters_well(self):
+        g = random_geometric_graph(1024, seed=0)
+        result = cluster_graph(g, seed=0)
+        assert result.modularity > 0.7
+
+    def test_clique_is_one_cluster(self):
+        result = cluster_graph(complete_graph(12), seed=0)
+        assert result.num_clusters == 1
+
+    def test_disconnected_cliques_separate(self):
+        edges = [(u, v) for u in range(4) for v in range(u + 1, 4)]
+        edges += [(u + 4, v + 4) for u, v in edges]
+        g = from_edges(8, edges)
+        result = cluster_graph(g, seed=0)
+        assert result.num_clusters == 2
+
+    def test_empty_graph(self):
+        result = cluster_graph(empty_graph(0))
+        assert result.num_clusters == 0
+        assert result.modularity == 0.0
+
+    def test_deterministic(self):
+        g, _ = planted_partition(4, 40, seed=3)
+        a = cluster_graph(g, seed=7)
+        b = cluster_graph(g, seed=7)
+        assert np.array_equal(a.clustering, b.clustering)
+
+    def test_labels_are_normalized(self):
+        g, _ = planted_partition(4, 40, seed=4)
+        result = cluster_graph(g, seed=0)
+        assert set(np.unique(result.clustering)) == set(range(result.num_clusters))

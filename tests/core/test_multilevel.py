@@ -1,0 +1,128 @@
+"""Tests for the sequential multilevel partitioner and V-cycles."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PartitionConfig,
+    detect_social,
+    eco_config,
+    fast_config,
+    iterated_vcycles,
+    minimal_config,
+    multilevel_partition,
+    sequential_partition,
+)
+from repro.generators import load_instance, planted_partition, rgg
+from repro.graph import check_partition, max_block_weight_bound
+from repro.metrics import edge_cut
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestConfig:
+    def test_presets(self):
+        assert fast_config().num_vcycles == 2
+        assert eco_config().num_vcycles == 5
+        assert eco_config().evolution_rounds > 0
+        assert minimal_config().num_vcycles == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PartitionConfig(k=0)
+        with pytest.raises(ValueError):
+            PartitionConfig(epsilon=-0.1)
+        with pytest.raises(ValueError):
+            PartitionConfig(num_vcycles=0)
+
+    def test_cluster_factor_selection(self):
+        config = fast_config()
+        assert config.cluster_factor(0, social=True, rng=rng()) == 14.0
+        assert config.cluster_factor(0, social=False, rng=rng()) == 20_000.0
+        later = config.cluster_factor(1, social=True, rng=rng())
+        assert 10.0 <= later <= 25.0
+
+    def test_with_override(self):
+        assert fast_config().with_(k=8).k == 8
+
+
+class TestDetectSocial:
+    def test_web_graph_is_social(self):
+        assert detect_social(load_instance("uk-2002"))
+
+    def test_mesh_is_not(self):
+        assert not detect_social(rgg(10, seed=0))
+
+
+class TestMultilevelPartition:
+    def test_planted_partition_near_optimal(self):
+        g, truth = planted_partition(2, 100, p_in=0.25, p_out=0.01, seed=0)
+        config = fast_config(k=2, social=True)
+        part = multilevel_partition(g, config, rng(1))
+        check_partition(g, part, 2, epsilon=0.03)
+        optimal = edge_cut(g, truth)
+        assert edge_cut(g, part) <= 1.3 * optimal
+
+    @pytest.mark.parametrize("k", [2, 4, 8])
+    def test_balanced_on_mesh(self, k):
+        g = rgg(10, seed=1)
+        config = fast_config(k=k, social=False)
+        part = multilevel_partition(g, config, rng(2))
+        check_partition(g, part, k, epsilon=0.03)
+
+    def test_input_partition_never_worsened(self):
+        g = load_instance("amazon")
+        config = fast_config(k=2, social=True)
+        first = multilevel_partition(g, config, rng(3))
+        lmax = max_block_weight_bound(g, 2, config.epsilon)
+        improved = multilevel_partition(g, config, rng(4), input_partition=first)
+        assert edge_cut(g, improved) <= edge_cut(g, first)
+        assert np.bincount(improved, weights=g.vwgt, minlength=2).max() <= lmax
+
+    def test_empty_graph(self):
+        from repro.graph import empty_graph
+
+        part = multilevel_partition(empty_graph(0), fast_config(k=2), rng())
+        assert part.size == 0
+
+
+class TestVcycles:
+    def test_cuts_monotone_nonincreasing(self):
+        g = load_instance("youtube")
+        config = eco_config(k=2, social=True, evolution_rounds=0)
+        trace = iterated_vcycles(g, config, rng(0))
+        cuts = list(trace.cuts)
+        assert len(cuts) == 5
+        assert all(b <= a for a, b in zip(cuts, cuts[1:]))
+
+    def test_more_cycles_not_worse_than_one(self):
+        g = load_instance("amazon")
+        one = iterated_vcycles(g, minimal_config(k=2, social=True), rng(5))
+        two = iterated_vcycles(g, fast_config(k=2, social=True), rng(5))
+        assert two.cuts[-1] <= one.cuts[0]
+
+
+class TestSequentialFacade:
+    def test_result_bundle(self):
+        g = load_instance("amazon")
+        res = sequential_partition(g, fast_config(k=2, social=True), seed=0)
+        assert res.cut == edge_cut(g, res.partition)
+        assert res.quality.k == 2
+        assert len(res.cuts_per_cycle) == 2
+        assert res.imbalance <= 0.03 + 1e-9
+
+    def test_deterministic(self):
+        g = load_instance("youtube")
+        a = sequential_partition(g, fast_config(k=4, social=True), seed=9)
+        b = sequential_partition(g, fast_config(k=4, social=True), seed=9)
+        assert np.array_equal(a.partition, b.partition)
+
+    def test_k_equals_one(self):
+        g = rgg(9, seed=0)
+        res = sequential_partition(g, fast_config(k=1, social=False), seed=0)
+        assert res.cut == 0
+        assert np.all(res.partition == 0)

@@ -1,0 +1,55 @@
+"""Tests for W-cycles (the complex-cycle extension, paper reference [34])."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import fast_config, multilevel_partition, sequential_partition
+from repro.generators import load_instance, rgg
+from repro.graph import check_partition
+from repro.metrics import edge_cut
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestWcycle:
+    def test_config_knob(self):
+        config = fast_config(k=2, cycle_type="W")
+        assert config.cycle_type == "W"
+        assert fast_config().cycle_type == "V"
+
+    def test_w_cycle_valid_partition(self):
+        g = load_instance("amazon")
+        config = fast_config(k=2, social=True, cycle_type="W")
+        part = multilevel_partition(g, config, rng(0))
+        check_partition(g, part, 2, epsilon=0.03)
+
+    def test_w_cycle_not_worse_than_v(self):
+        g = load_instance("eu-2005")
+        v_res = sequential_partition(g, fast_config(k=2, social=True), seed=1)
+        w_res = sequential_partition(
+            g, fast_config(k=2, social=True, cycle_type="W"), seed=1
+        )
+        assert w_res.cut <= 1.05 * v_res.cut  # at least comparable
+
+    def test_recursion_respects_node_limit(self):
+        # limit 0: never recurses -> behaves exactly like a V-cycle
+        g = rgg(10, seed=0)
+        config_v = fast_config(k=4, social=False)
+        config_w0 = fast_config(k=4, social=False, cycle_type="W",
+                                wcycle_node_limit=0)
+        a = multilevel_partition(g, config_v, rng(3))
+        b = multilevel_partition(g, config_w0, rng(3))
+        assert np.array_equal(a, b)
+
+    def test_mesh_quality(self):
+        g = rgg(11, seed=0)
+        w = sequential_partition(
+            g, fast_config(k=8, social=False, cycle_type="W"), seed=2
+        )
+        v = sequential_partition(g, fast_config(k=8, social=False), seed=2)
+        check_partition(g, w.partition, 8, epsilon=0.03)
+        assert w.cut <= 1.1 * v.cut

@@ -1,0 +1,109 @@
+"""Edge-case tests for the simulated communicator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dist import run_spmd
+from repro.perf import MACHINE_B
+
+
+class TestCollectiveEdgeCases:
+    def test_allreduce_custom_op(self):
+        result = run_spmd(4, lambda comm: comm.allreduce(comm.rank + 1,
+                                                         op=lambda a, b: a * b))
+        assert result.value == 24
+
+    def test_exscan_floats(self):
+        result = run_spmd(3, lambda comm: comm.exscan(0.5))
+        assert result.per_rank == [0.0, 0.5, 1.0]
+
+    def test_bcast_ignores_non_root_values(self):
+        def program(comm):
+            return comm.bcast(f"rank-{comm.rank}", root=1)
+
+        result = run_spmd(3, program)
+        assert all(v == "rank-1" for v in result.per_rank)
+
+    def test_allgather_mixed_payloads(self):
+        def program(comm):
+            payload = np.ones(comm.rank + 1) if comm.rank % 2 else {"r": comm.rank}
+            return comm.allgather(payload)
+
+        result = run_spmd(4, program)
+        view = result.value
+        assert view[0] == {"r": 0}
+        assert isinstance(view[1], np.ndarray) and view[1].size == 2
+
+    def test_nested_collectives_in_sequence(self):
+        def program(comm):
+            a = comm.allreduce(1)
+            b = comm.exscan(a)
+            c = comm.allgather(b)
+            return c
+
+        result = run_spmd(3, program)
+        # a = 3 everywhere; exscan(3) = [0, 3, 6]
+        assert result.value == [0, 3, 6]
+
+    def test_world_size_one_collectives(self):
+        def program(comm):
+            return (comm.allreduce(5), comm.exscan(2), comm.allgather("x"),
+                    comm.bcast("y"), comm.alltoall(["z"]))
+
+        result = run_spmd(1, program)
+        assert result.value == (5, 0, ["x"], "y", ["z"])
+
+    def test_invalid_world_size(self):
+        from repro.dist import World
+
+        with pytest.raises(ValueError, match="size"):
+            World(0)
+
+
+class TestClockProperties:
+    def test_clock_monotone_within_rank(self):
+        def program(comm):
+            times = []
+            for _ in range(5):
+                comm.work(10)
+                comm.barrier()
+                times.append(comm.sim_time)
+            return times
+
+        result = run_spmd(3, program, machine=MACHINE_B)
+        for times in result.per_rank:
+            assert all(b >= a for a, b in zip(times, times[1:]))
+
+    def test_clocks_agree_after_collective(self):
+        def program(comm):
+            comm.work(comm.rank * 100)  # uneven work
+            comm.barrier()
+            return comm.sim_time
+
+        result = run_spmd(4, program, machine=MACHINE_B)
+        assert len(set(result.per_rank)) == 1  # all synchronised
+
+    def test_max_rank_work_dominates(self):
+        def program(comm):
+            comm.work(1000 if comm.rank == 2 else 1)
+            comm.barrier()
+            return comm.sim_time
+
+        result = run_spmd(4, program, machine=MACHINE_B)
+        assert result.sim_time >= MACHINE_B.compute_time(1000)
+
+
+class TestSpmdResultApi:
+    def test_aggregates(self):
+        def program(comm):
+            comm.work(10)
+            comm.alltoall([np.zeros(2)] * comm.size)
+            return comm.rank
+
+        result = run_spmd(2, program, machine=MACHINE_B)
+        assert result.total_work == 20
+        assert result.total_bytes_sent == 32  # each rank ships one 16B array
+        assert result.value == 0
+        assert np.array_equal(result.sim_times, np.full(2, result.sim_time))

@@ -1,0 +1,63 @@
+"""Direct tests for DistGraph.from_arcs (the coarse-graph constructor)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dist import DistGraph, balanced_vtxdist
+
+from ..conftest import random_graphs
+
+
+class TestFromArcs:
+    def test_matches_from_global(self):
+        """Building from a rank's own arc list must reproduce from_global."""
+        from repro.generators import random_geometric_graph
+
+        graph = random_geometric_graph(120, seed=0)
+        vtxdist = balanced_vtxdist(graph.num_nodes, 3)
+        for rank in range(3):
+            ref = DistGraph.from_global(graph, vtxdist, rank)
+            src_global = ref.to_global(ref.arc_sources())
+            dst_global = ref.to_global(ref.adjncy)
+            built = DistGraph.from_arcs(
+                vtxdist, rank, src_global, dst_global, ref.adjwgt, ref.vwgt
+            )
+            assert built.n_local == ref.n_local
+            assert np.array_equal(built.ghost_global, ref.ghost_global)
+            assert np.array_equal(built.ghost_owner, ref.ghost_owner)
+            assert np.array_equal(built.xadj, ref.xadj)
+            # arc multiset per node must match (order may differ)
+            for v in range(ref.n_local):
+                got = sorted(zip(built.to_global(built.neighbors(v)).tolist(),
+                                 built.incident_weights(v).tolist()))
+                want = sorted(zip(ref.to_global(ref.neighbors(v)).tolist(),
+                                  ref.incident_weights(v).tolist()))
+                assert got == want
+
+    def test_empty_rank(self):
+        vtxdist = np.array([0, 2, 2])  # rank 1 owns nothing
+        built = DistGraph.from_arcs(
+            vtxdist, 1,
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64),
+        )
+        assert built.n_local == 0
+        assert built.n_ghost == 0
+        assert built.num_arcs == 0
+
+    def test_send_recv_structures_consistent(self):
+        vtxdist = np.array([0, 2, 4])
+        # rank 0 owns {0,1}; arcs 0-2 and 1-3 cross to rank 1
+        built = DistGraph.from_arcs(
+            vtxdist, 0,
+            np.array([0, 1]), np.array([2, 3]),
+            np.array([5, 7]), np.array([1, 1]),
+        )
+        assert built.send_ranks.tolist() == [1]
+        assert built.send_nodes[0].tolist() == [0, 1]
+        assert built.recv_ghosts[0].tolist() == [2, 3]  # local ghost ids
+        assert built.ghost_owner.tolist() == [1, 1]

@@ -1,0 +1,55 @@
+"""Tests for the Table I instance registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import check_graph, degree_statistics
+from repro.generators import INSTANCES, family_instance, instance_names, load_instance
+
+
+class TestRegistry:
+    def test_fifteen_table1_rows(self):
+        assert len(INSTANCES) == 15
+        assert len(instance_names(group="large")) == 12
+        assert len(instance_names(group="web")) == 3
+
+    def test_kind_filter(self):
+        social = instance_names(kind="S")
+        mesh = instance_names(kind="M")
+        assert set(social) | set(mesh) == set(INSTANCES)
+        assert "uk-2007" in social
+        assert "del26" in mesh
+
+    def test_unknown_instance_raises(self):
+        with pytest.raises(KeyError, match="unknown instance"):
+            load_instance("no-such-graph")
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(KeyError, match="unknown family"):
+            family_instance("nope", 10)
+
+    @pytest.mark.parametrize("name", sorted(INSTANCES))
+    def test_every_instance_builds_valid(self, name):
+        graph = load_instance(name, seed=0)
+        check_graph(graph)
+        assert graph.num_nodes >= 1000  # scaled but non-trivial
+        assert graph.name == name
+
+    def test_social_instances_have_heavy_tails(self):
+        for name in ("uk-2007", "enwiki", "youtube"):
+            stats = degree_statistics(load_instance(name, seed=0))
+            assert stats.tail_ratio > 3.0, name
+
+    def test_mesh_instances_have_light_tails(self):
+        for name in ("hugebubbles", "del26", "rgg26", "channel"):
+            stats = degree_statistics(load_instance(name, seed=0))
+            assert stats.tail_ratio < 4.0, name
+
+    def test_family_members_scale(self):
+        small = family_instance("del", 10)
+        large = family_instance("del", 12)
+        assert large.num_nodes == 4 * small.num_nodes
+
+    def test_load_is_memoised(self):
+        assert load_instance("amazon", seed=0) is load_instance("amazon", seed=0)

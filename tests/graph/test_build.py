@@ -1,0 +1,146 @@
+"""Unit tests for graph builders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.graph import (
+    check_graph,
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    from_adjacency,
+    from_coo,
+    from_edges,
+    from_networkx,
+    from_scipy,
+    path_graph,
+    star_graph,
+    to_networkx,
+    to_scipy,
+)
+
+from ..conftest import random_graphs
+
+
+class TestFromEdges:
+    def test_simple_triangle(self):
+        g = from_edges(3, [(0, 1), (1, 2), (2, 0)])
+        assert g.num_edges == 3
+        check_graph(g)
+
+    def test_duplicate_edges_merge_weights(self):
+        g = from_edges(2, [(0, 1), (0, 1), (1, 0)], weights=[2, 3, 5])
+        assert g.num_edges == 1
+        assert g.incident_weights(0).tolist() == [10]
+
+    def test_self_loops_dropped(self):
+        g = from_edges(3, [(0, 0), (1, 2)])
+        assert g.num_edges == 1
+        check_graph(g)
+
+    def test_empty_edge_list(self):
+        g = from_edges(4, [])
+        assert g.num_nodes == 4
+        assert g.num_edges == 0
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError, match="pairs"):
+            from_edges(3, np.array([[0, 1, 2]]))
+
+    def test_rejects_mismatched_weights(self):
+        with pytest.raises(ValueError, match="parallel"):
+            from_edges(3, [(0, 1)], weights=[1, 2])
+
+    def test_node_weights_kept(self):
+        g = from_edges(2, [(0, 1)], vwgt=np.array([7, 9]))
+        assert g.vwgt.tolist() == [7, 9]
+
+
+class TestScipyRoundTrip:
+    def test_round_trip_preserves_graph(self, two_triangles):
+        again = from_scipy(to_scipy(two_triangles))
+        assert sorted(again.edges()) == sorted(two_triangles.edges())
+
+    def test_from_scipy_drops_diagonal(self):
+        import scipy.sparse as sp
+
+        mat = sp.csr_matrix(np.array([[5, 1], [1, 0]]))
+        g = from_scipy(mat)
+        assert g.num_edges == 1
+        check_graph(g)
+
+
+class TestNetworkxRoundTrip:
+    def test_round_trip(self, karate):
+        nx_g = to_networkx(karate)
+        again = from_networkx(nx_g)
+        assert again.num_nodes == karate.num_nodes
+        assert sorted(again.edges()) == sorted(karate.edges())
+
+    def test_weights_survive(self):
+        import networkx as nx
+
+        nx_g = nx.Graph()
+        nx_g.add_edge(0, 1, weight=4)
+        g = from_networkx(nx_g)
+        assert g.incident_weights(0).tolist() == [4]
+
+
+class TestTinyGraphs:
+    def test_empty(self):
+        g = empty_graph(5)
+        assert g.num_nodes == 5 and g.num_edges == 0
+
+    def test_complete(self):
+        g = complete_graph(5)
+        assert g.num_edges == 10
+        assert np.all(g.degrees == 4)
+
+    def test_path(self):
+        g = path_graph(5)
+        assert g.num_edges == 4
+        assert g.degrees.tolist() == [1, 2, 2, 2, 1]
+
+    def test_cycle(self):
+        g = cycle_graph(5)
+        assert g.num_edges == 5
+        assert np.all(g.degrees == 2)
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_star(self):
+        g = star_graph(4)
+        assert g.degree(0) == 4
+        assert g.num_edges == 4
+
+    def test_from_adjacency(self):
+        g = from_adjacency([[1, 2], [0, 2], [0, 1]])
+        assert g.num_edges == 3
+
+
+class TestProperties:
+    @given(random_graphs())
+    def test_builders_always_produce_valid_graphs(self, graph):
+        check_graph(graph)
+
+    @given(random_graphs())
+    def test_arc_count_is_even(self, graph):
+        assert graph.num_arcs % 2 == 0
+
+    @given(random_graphs())
+    def test_coo_round_trip(self, graph):
+        src = graph.arc_sources()
+        mask = src < graph.adjncy
+        again = from_coo(
+            graph.num_nodes,
+            src[mask],
+            graph.adjncy[mask],
+            graph.adjwgt[mask],
+            vwgt=graph.vwgt,
+        )
+        assert sorted(again.edges()) == sorted(graph.edges())

@@ -1,0 +1,113 @@
+"""Unit tests for the CSR graph data structure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph, GraphError, from_edges
+
+
+class TestConstruction:
+    def test_from_csr_defaults_to_unit_weights(self):
+        g = Graph.from_csr([0, 1, 2], [1, 0])
+        assert g.num_nodes == 2
+        assert g.num_edges == 1
+        assert g.vwgt.tolist() == [1, 1]
+        assert g.adjwgt.tolist() == [1, 1]
+
+    def test_rejects_mismatched_xadj_tail(self):
+        with pytest.raises(GraphError, match="xadj"):
+            Graph.from_csr([0, 1, 3], [1, 0])
+
+    def test_rejects_decreasing_xadj(self):
+        with pytest.raises(GraphError, match="non-decreasing"):
+            Graph.from_csr([0, 2, 1, 3], [1, 0, 2])
+
+    def test_rejects_out_of_range_neighbor(self):
+        with pytest.raises(GraphError, match="out-of-range"):
+            Graph.from_csr([0, 1, 2], [1, 5])
+
+    def test_rejects_wrong_vwgt_length(self):
+        with pytest.raises(GraphError, match="vwgt"):
+            Graph.from_csr([0, 1, 2], [1, 0], vwgt=np.ones(3, dtype=np.int64))
+
+    def test_rejects_wrong_adjwgt_length(self):
+        with pytest.raises(GraphError, match="adjwgt"):
+            Graph.from_csr([0, 1, 2], [1, 0], adjwgt=np.ones(3, dtype=np.int64))
+
+    def test_rejects_nonzero_start(self):
+        with pytest.raises(GraphError, match="start at 0"):
+            Graph.from_csr([1, 2, 2], [0])
+
+    def test_empty_graph(self):
+        g = Graph.from_csr([0], [])
+        assert g.num_nodes == 0
+        assert g.num_edges == 0
+        assert g.total_node_weight == 0
+
+
+class TestAccessors:
+    def test_counts(self, two_triangles):
+        assert two_triangles.num_nodes == 6
+        assert two_triangles.num_edges == 7
+        assert two_triangles.num_arcs == 14
+
+    def test_neighbors_are_symmetric(self, two_triangles):
+        for u, v, _ in two_triangles.edges():
+            assert two_triangles.has_edge(u, v)
+            assert two_triangles.has_edge(v, u)
+
+    def test_degree_matches_neighbor_count(self, two_triangles):
+        for v in range(6):
+            assert two_triangles.degree(v) == two_triangles.neighbors(v).size
+
+    def test_degrees_array(self, two_triangles):
+        assert two_triangles.degrees.tolist() == [2, 2, 3, 3, 2, 2]
+
+    def test_weighted_degree(self, weighted_square):
+        # node 0 touches edges (0,1)=1 and (3,0)=4
+        assert weighted_square.weighted_degree(0) == 5
+
+    def test_total_weights(self, weighted_square):
+        assert weighted_square.total_node_weight == 10
+        assert weighted_square.total_edge_weight == 10
+
+    def test_arc_sources(self, two_triangles):
+        src = two_triangles.arc_sources()
+        assert src.size == two_triangles.num_arcs
+        assert np.array_equal(np.bincount(src), two_triangles.degrees)
+
+    def test_edges_iterates_each_once(self, two_triangles):
+        edges = list(two_triangles.edges())
+        assert len(edges) == 7
+        assert all(u < v for u, v, _ in edges)
+
+    def test_has_edge_false_for_absent(self, two_triangles):
+        assert not two_triangles.has_edge(0, 5)
+
+
+class TestDerived:
+    def test_with_weights_replaces_node_weights(self, two_triangles):
+        new = two_triangles.with_weights(vwgt=np.arange(1, 7))
+        assert new.total_node_weight == 21
+        assert new.adjncy is two_triangles.adjncy  # structure shared
+
+    def test_sorted_adjacency_preserves_edge_multiset(self, two_triangles):
+        sorted_g = two_triangles.sorted_adjacency()
+        assert sorted(two_triangles.edges()) == sorted(sorted_g.edges())
+        for v in range(6):
+            nbrs = sorted_g.neighbors(v)
+            assert np.all(np.diff(nbrs) > 0)
+
+    def test_equality_and_hash(self, two_triangles):
+        clone = Graph(
+            two_triangles.xadj.copy(),
+            two_triangles.adjncy.copy(),
+            two_triangles.vwgt.copy(),
+            two_triangles.adjwgt.copy(),
+        )
+        assert clone == two_triangles
+        assert hash(clone) == hash(two_triangles)
+        other = from_edges(6, [(0, 1)])
+        assert other != two_triangles

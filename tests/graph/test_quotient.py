@@ -1,0 +1,134 @@
+"""Unit and property tests for contraction / quotient graphs.
+
+The key invariant (paper Section III): *a partition of the coarse graph
+corresponds to a partition of the fine graph with the same cut and
+balance*.  Equivalently, for any clustering and any block assignment of
+the clusters, cutting the coarse graph equals cutting the fine graph.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graph import check_graph, complete_graph, contract, normalize_labels, quotient_graph
+from repro.metrics import edge_cut
+
+from ..conftest import graphs_with_labels, random_graphs
+
+
+class TestNormalizeLabels:
+    def test_already_contiguous(self):
+        normalized, count = normalize_labels(np.array([0, 1, 2, 1]))
+        assert normalized.tolist() == [0, 1, 2, 1]
+        assert count == 3
+
+    def test_sparse_ids_compress(self):
+        normalized, count = normalize_labels(np.array([100, 7, 100, 42]))
+        assert count == 3
+        assert normalized.tolist() == [2, 0, 2, 1]  # sorted-unique order
+
+    def test_empty(self):
+        normalized, count = normalize_labels(np.array([], dtype=np.int64))
+        assert count == 0
+        assert normalized.size == 0
+
+
+class TestContract:
+    def test_two_triangles_with_bridge(self, two_triangles):
+        result = contract(two_triangles, np.array([0, 0, 0, 1, 1, 1]))
+        coarse = result.coarse
+        assert coarse.num_nodes == 2
+        assert coarse.num_edges == 1
+        assert coarse.vwgt.tolist() == [3, 3]
+        assert coarse.adjwgt.tolist() == [1, 1]  # only the bridge survives
+
+    def test_complete_graph_halves(self):
+        g = complete_graph(6)
+        coarse = contract(g, np.array([0, 0, 0, 1, 1, 1])).coarse
+        assert coarse.num_nodes == 2
+        # 3x3 unit edges run between the halves.
+        assert coarse.adjwgt.tolist() == [9, 9]
+
+    def test_contract_to_single_node(self, two_triangles):
+        coarse = contract(two_triangles, np.zeros(6, dtype=np.int64)).coarse
+        assert coarse.num_nodes == 1
+        assert coarse.num_edges == 0
+        assert coarse.total_node_weight == two_triangles.total_node_weight
+
+    def test_identity_contraction(self, two_triangles):
+        coarse = contract(two_triangles, np.arange(6)).coarse
+        assert sorted(coarse.edges()) == sorted(two_triangles.edges())
+
+    def test_weighted_edges_sum(self, weighted_square):
+        # Merge {0,1} and {2,3}: cut edges are (1,2)=2 and (3,0)=4.
+        coarse = contract(weighted_square, np.array([0, 0, 1, 1])).coarse
+        assert coarse.adjwgt.tolist() == [6, 6]
+        assert coarse.vwgt.tolist() == [3, 7]
+
+
+class TestContractionInvariants:
+    @given(graphs_with_labels())
+    def test_coarse_graph_is_valid(self, graph_and_labels):
+        graph, labels = graph_and_labels
+        result = contract(graph, labels)
+        check_graph(result.coarse)
+
+    @given(graphs_with_labels())
+    def test_node_weight_conserved(self, graph_and_labels):
+        graph, labels = graph_and_labels
+        result = contract(graph, labels)
+        assert result.coarse.total_node_weight == graph.total_node_weight
+
+    @given(graphs_with_labels())
+    def test_mapping_is_onto_contiguous_range(self, graph_and_labels):
+        graph, labels = graph_and_labels
+        result = contract(graph, labels)
+        mapping = result.fine_to_coarse
+        if graph.num_nodes:
+            assert set(mapping.tolist()) == set(range(result.coarse.num_nodes))
+
+    @given(graphs_with_labels(), st.integers(min_value=0, max_value=2**31 - 1))
+    def test_cut_preserved_through_contraction(self, graph_and_labels, seed):
+        """The paper's central coarsening invariant."""
+        graph, labels = graph_and_labels
+        result = contract(graph, labels)
+        coarse, mapping = result.coarse, result.fine_to_coarse
+        rng = np.random.default_rng(seed)
+        coarse_partition = rng.integers(0, 3, size=coarse.num_nodes)
+        fine_partition = coarse_partition[mapping] if graph.num_nodes else coarse_partition
+        assert edge_cut(coarse, coarse_partition) == edge_cut(graph, fine_partition)
+
+    @given(graphs_with_labels())
+    def test_edge_weight_conserved_minus_internal(self, graph_and_labels):
+        graph, labels = graph_and_labels
+        result = contract(graph, labels)
+        mapping = result.fine_to_coarse
+        src = graph.arc_sources()
+        internal = mapping[src] == mapping[graph.adjncy]
+        internal_weight = int(graph.adjwgt[internal].sum()) // 2
+        assert result.coarse.total_edge_weight == graph.total_edge_weight - internal_weight
+
+
+class TestQuotientGraph:
+    def test_quotient_keeps_empty_blocks(self, two_triangles):
+        partition = np.array([0, 0, 0, 2, 2, 2])  # block 1 unused
+        q = quotient_graph(two_triangles, partition, k=3)
+        assert q.num_nodes == 3
+        assert q.vwgt.tolist() == [3, 0, 3]
+        assert q.degree(1) == 0
+
+    def test_quotient_of_contiguous_partition(self, two_triangles):
+        q = quotient_graph(two_triangles, np.array([0, 0, 0, 1, 1, 1]), k=2)
+        assert q.num_nodes == 2
+        assert q.adjwgt.tolist() == [1, 1]
+
+    @given(random_graphs(min_nodes=2), st.integers(min_value=0, max_value=2**31 - 1))
+    def test_quotient_edge_weight_equals_cut(self, graph, seed):
+        rng = np.random.default_rng(seed)
+        k = int(rng.integers(1, 5))
+        partition = rng.integers(0, k, size=graph.num_nodes)
+        q = quotient_graph(graph, partition, k=k)
+        assert q.num_nodes == k
+        assert q.total_edge_weight == edge_cut(graph, partition)

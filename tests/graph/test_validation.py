@@ -1,0 +1,88 @@
+"""Tests for graph and partition validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.graph import (
+    Graph,
+    GraphError,
+    block_weights,
+    check_graph,
+    check_partition,
+    from_edges,
+    is_valid_partition,
+    max_block_weight_bound,
+)
+
+from ..conftest import random_graphs
+
+
+class TestCheckGraph:
+    def test_accepts_valid(self, two_triangles):
+        check_graph(two_triangles)
+
+    def test_rejects_self_loop(self):
+        g = Graph.from_csr([0, 2, 3], [1, 0, 0])
+        # arcs: 0->1, 0->0, 1->0: has a self loop
+        with pytest.raises(GraphError, match="self-loop"):
+            check_graph(g)
+
+    def test_rejects_asymmetric(self):
+        g = Graph.from_csr([0, 1, 1], [1])  # arc 0->1 without 1->0
+        with pytest.raises(GraphError, match="symmetric"):
+            check_graph(g)
+
+    def test_rejects_asymmetric_weights(self):
+        g = Graph.from_csr([0, 1, 2], [1, 0], adjwgt=np.array([1, 2]))
+        with pytest.raises(GraphError, match="symmetric"):
+            check_graph(g)
+
+    def test_rejects_nonpositive_node_weight(self):
+        g = Graph.from_csr([0, 1, 2], [1, 0], vwgt=np.array([0, 1]))
+        with pytest.raises(GraphError, match="node weights"):
+            check_graph(g)
+
+    def test_zero_weights_allowed_when_relaxed(self):
+        g = Graph.from_csr([0, 1, 2], [1, 0], vwgt=np.array([0, 1]))
+        check_graph(g, require_positive_weights=False)
+
+    @given(random_graphs())
+    def test_random_graphs_validate(self, graph):
+        check_graph(graph)
+
+
+class TestPartitionChecks:
+    def test_block_weights(self, weighted_square):
+        weights = block_weights(weighted_square, np.array([0, 1, 0, 1]), k=2)
+        assert weights.tolist() == [4, 6]
+
+    def test_lmax_formula(self):
+        g = from_edges(10, [(i, i + 1) for i in range(9)])
+        # c(V) = 10, k = 3 -> ceil = 4, Lmax = floor(1.03 * 4) = 4
+        assert max_block_weight_bound(g, 3, 0.03) == 4
+        assert max_block_weight_bound(g, 3, 0.5) == 6
+
+    def test_check_partition_accepts_balanced(self, two_triangles):
+        check_partition(two_triangles, np.array([0, 0, 0, 1, 1, 1]), k=2, epsilon=0.0)
+
+    def test_check_partition_rejects_imbalanced(self, two_triangles):
+        with pytest.raises(GraphError, match="balance"):
+            check_partition(two_triangles, np.array([0, 0, 0, 0, 0, 1]), k=2, epsilon=0.03)
+
+    def test_check_partition_rejects_bad_block_id(self, two_triangles):
+        with pytest.raises(GraphError, match="block ids"):
+            check_partition(two_triangles, np.array([0, 0, 0, 1, 1, 2]), k=2)
+
+    def test_check_partition_rejects_wrong_length(self, two_triangles):
+        with pytest.raises(GraphError, match="every node"):
+            check_partition(two_triangles, np.array([0, 1]), k=2)
+
+    def test_epsilon_none_skips_balance(self, two_triangles):
+        check_partition(two_triangles, np.array([0, 0, 0, 0, 0, 1]), k=2, epsilon=None)
+
+    def test_is_valid_partition(self, two_triangles):
+        assert is_valid_partition(two_triangles, np.array([0, 0, 0, 1, 1, 1]), 2, 0.0)
+        assert not is_valid_partition(two_triangles, np.array([0] * 6), 2, 0.0)

@@ -1,0 +1,122 @@
+"""Integration tests: the whole system, cross-checked end to end."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import partition_graph
+from repro.baselines import hash_partition, parmetis_partition, scotch_partition
+from repro.core import fast_config, minimal_config, sequential_partition
+from repro.dist import parallel_partition
+from repro.generators import (
+    grid_2d,
+    load_instance,
+    planted_partition,
+    random_geometric_graph,
+    web_copy_graph,
+)
+from repro.graph import check_partition, from_edges
+from repro.metrics import edge_cut
+
+
+class TestSequentialParallelParity:
+    @pytest.mark.parametrize("name", ["amazon", "youtube", "eu-2005"])
+    def test_parallel_quality_close_to_sequential(self, name):
+        graph = load_instance(name)
+        config = fast_config(k=2, social=True)
+        seq = sequential_partition(graph, config, seed=0)
+        par = parallel_partition(graph, config, num_pes=4, seed=0)
+        assert par.cut <= 1.3 * seq.cut
+        check_partition(graph, par.partition, 2, epsilon=0.03)
+
+    @pytest.mark.parametrize("num_pes", [2, 4, 8])
+    def test_quality_pe_insensitive(self, num_pes):
+        """The claim Table II's protocol relies on."""
+        graph = load_instance("uk-2002")
+        config = fast_config(k=2, social=True)
+        baseline = parallel_partition(graph, config, num_pes=1, seed=0)
+        result = parallel_partition(graph, config, num_pes=num_pes, seed=0)
+        assert result.cut <= 1.35 * baseline.cut
+
+
+class TestAlgorithmOrdering:
+    def test_everyone_beats_hash_on_web_graphs(self):
+        graph = web_copy_graph(3000, seed=0)
+        hash_cut = hash_partition(graph, 4, seed=0).cut
+        for runner in (
+            lambda: parmetis_partition(graph, 4, seed=0).cut,
+            lambda: scotch_partition(graph, 4, seed=0).cut,
+            lambda: partition_graph(graph, k=4, num_pes=2, seed=0).cut,
+        ):
+            assert runner() < 0.6 * hash_cut
+
+    def test_parhip_beats_baselines_on_web_graph(self):
+        graph = load_instance("in-2004")
+        ours = partition_graph(graph, k=2, preset="fast", num_pes=4, seed=0).cut
+        pm = parmetis_partition(graph, 2, seed=0).cut
+        rb = scotch_partition(graph, 2, seed=0).cut
+        assert ours < pm
+        assert ours < rb
+
+
+class TestHeterogeneousInputs:
+    def test_weighted_graph_partitioning(self):
+        rng = np.random.default_rng(0)
+        base = random_geometric_graph(800, seed=1)
+        weighted = base.with_weights(
+            vwgt=rng.integers(1, 5, size=base.num_nodes),
+            adjwgt=None,
+        )
+        result = partition_graph(weighted, k=4, preset="fast", seed=0)
+        check_partition(weighted, result.partition, 4, epsilon=0.05)
+
+    def test_disconnected_graph(self):
+        # two separate communities plus isolated nodes
+        g1, _ = planted_partition(2, 50, p_in=0.3, p_out=0.0, seed=0)
+        edges = list(g1.edges())
+        graph = from_edges(g1.num_nodes + 5, [(u, v) for u, v, _ in edges],
+                           weights=[w for _, _, w in edges])
+        result = partition_graph(graph, k=2, preset="minimal", seed=0)
+        check_partition(graph, result.partition, 2, epsilon=None)
+        assert result.imbalance <= 0.1
+
+    def test_tiny_graph(self):
+        graph = from_edges(4, [(0, 1), (2, 3)])
+        result = partition_graph(graph, k=2, preset="minimal", seed=0)
+        assert result.cut == 0
+
+    def test_grid_stripe_quality(self):
+        graph = grid_2d(40, 40)
+        result = partition_graph(graph, k=4, preset="fast", seed=0)
+        # an ideal 4-way split of a 40x40 grid cuts ~3*40 = 120 edges
+        assert result.cut <= 260
+        check_partition(graph, result.partition, 4, epsilon=0.03)
+
+
+class TestPropertyBased:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        k=st.integers(min_value=2, max_value=6),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_api_always_returns_valid_partitions(self, k, seed):
+        graph = random_geometric_graph(400, seed=seed % 17)
+        result = partition_graph(
+            graph, k=k, config=minimal_config(k=k, epsilon=0.1, social=False),
+            seed=seed,
+        )
+        check_partition(graph, result.partition, k, epsilon=None)
+        assert result.cut == edge_cut(graph, result.partition)
+        assert result.imbalance <= 0.1 + 1e-9
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_parallel_always_balanced_on_social(self, seed):
+        graph = web_copy_graph(1200, seed=seed % 13)
+        result = parallel_partition(
+            graph, fast_config(k=4, social=True), num_pes=3, seed=seed
+        )
+        check_partition(graph, result.partition, 4, epsilon=0.03)

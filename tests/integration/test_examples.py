@@ -1,0 +1,48 @@
+"""Smoke tests: every example script runs to completion.
+
+The examples are deliverables; running them in-process catches API drift
+that unit tests of the underlying modules would miss.
+"""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "edge cut" in out
+        assert "more than ParHIP" in out
+
+    def test_pagerank_partitioned(self, capsys):
+        out = run_example("pagerank_partitioned.py", capsys)
+        assert "parhip-fast" in out
+        assert "Top-5 pages" in out  # the cross-partition sanity assert passed
+
+    def test_community_detection(self, capsys):
+        out = run_example("community_detection.py", capsys)
+        assert "pair agreement" in out
+        assert "distributed clustering" in out
+
+    def test_scaling_study(self, capsys):
+        out = run_example("scaling_study.py", capsys)
+        assert "speedup" in out
+        assert "uk-2002" in out
+
+    def test_memory_wall(self, capsys):
+        out = run_example("memory_wall.py", capsys)
+        assert out.count("OUT OF MEMORY") == 3  # the paper's three * rows
+        assert "parhip fast" in out

@@ -1,0 +1,98 @@
+"""Tests for flow-based pairwise refinement."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.generators import planted_partition, random_geometric_graph
+from repro.graph import block_weights, from_edges, max_block_weight_bound, path_graph
+from repro.kaffpa.flow import flow_refine_pair, flow_refinement
+from repro.metrics import edge_cut
+
+from ..conftest import random_graphs
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestFlowRefinePair:
+    def test_finds_min_cut_on_dumbbell(self):
+        # two cliques joined by a 2-edge bridge through a middle path;
+        # start with the boundary in the wrong place
+        edges = [(u, v) for u in range(4) for v in range(u + 1, 4)]
+        edges += [(u + 6, v + 6) for u, v in edges]
+        edges += [(3, 4), (4, 5), (5, 6)]  # path bridge
+        g = from_edges(10, edges)
+        part = np.array([0, 0, 0, 0, 0, 1, 1, 1, 1, 1])
+        lmax = max_block_weight_bound(g, 2, 0.5)
+        before = edge_cut(g, part)
+        part2 = part.copy()
+        improved = flow_refine_pair(g, part2, 0, 1, lmax, corridor_width=3)
+        assert edge_cut(g, part2) <= before
+        assert block_weights(g, part2, 2).max() <= lmax
+
+    def test_no_change_on_optimal(self, two_triangles):
+        part = np.array([0, 0, 0, 1, 1, 1])
+        lmax = max_block_weight_bound(two_triangles, 2, 0.5)
+        improved = flow_refine_pair(two_triangles, part.copy(), 0, 1, lmax)
+        assert not improved
+
+    def test_rejects_unbalanced_proposals(self):
+        # min cut would put everything on one side; balance must block it
+        g = path_graph(6)
+        part = np.array([0, 0, 0, 1, 1, 1])
+        tight = max_block_weight_bound(g, 2, 0.0)  # 3
+        part2 = part.copy()
+        flow_refine_pair(g, part2, 0, 1, tight, corridor_width=5)
+        assert block_weights(g, part2, 2).max() <= tight
+
+    def test_non_adjacent_pair_is_noop(self):
+        g = path_graph(9)
+        part = np.array([0, 0, 0, 1, 1, 1, 2, 2, 2])
+        part2 = part.copy()
+        assert not flow_refine_pair(g, part2, 0, 2, 9)
+        assert np.array_equal(part, part2)
+
+
+class TestFlowRefinement:
+    def test_improves_ragged_mesh_boundary(self):
+        # flows shine on mesh-like graphs (their KaHIP habitat): corridors
+        # stay local, so a ragged geometric boundary is rewired to a min cut
+        g, pos = random_geometric_graph(900, seed=0, return_positions=True)
+        part = (pos[:, 0] > 0.5).astype(np.int64)  # geometric halves...
+        near = np.flatnonzero(np.abs(pos[:, 0] - 0.5) < 0.05)
+        flip = rng(1).choice(near, size=near.size // 2, replace=False)
+        part[flip] = 1 - part[flip]  # ...with a ragged boundary strip
+        lmax = max_block_weight_bound(g, 2, 0.1)
+        refined = flow_refinement(g, part, 2, lmax, rng(2), max_passes=3,
+                                  corridor_width=3)
+        assert edge_cut(g, refined) < 0.9 * edge_cut(g, part)
+        assert block_weights(g, refined, 2).max() <= lmax
+
+    def test_kway_never_worsens(self):
+        g = random_geometric_graph(600, seed=3)
+        part = rng(4).integers(0, 4, size=g.num_nodes)
+        lmax = max_block_weight_bound(g, 4, 1.0)
+        refined = flow_refinement(g, part, 4, lmax, rng(5))
+        assert edge_cut(g, refined) <= edge_cut(g, part)
+
+    @given(random_graphs(min_nodes=4), st.integers(min_value=0, max_value=2**31 - 1))
+    def test_property_monotone_and_balanced(self, graph, seed):
+        generator = rng(seed)
+        k = 2
+        lmax = max_block_weight_bound(graph, k, 1.0)
+        part = generator.integers(0, k, size=graph.num_nodes)
+        if block_weights(graph, part, k).max() > lmax:
+            return
+        refined = flow_refinement(graph, part, k, lmax, generator, max_passes=1)
+        assert edge_cut(graph, refined) <= edge_cut(graph, part)
+        assert block_weights(graph, refined, k).max() <= lmax
+
+    def test_empty_and_uncut_inputs(self, two_triangles):
+        part = np.zeros(6, dtype=np.int64)
+        refined = flow_refinement(two_triangles, part, 1, 6, rng(0))
+        assert np.array_equal(refined, part)

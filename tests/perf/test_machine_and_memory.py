@@ -1,0 +1,96 @@
+"""Tests for the machine and memory models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf import (
+    MACHINE_A,
+    MACHINE_B,
+    SERIAL,
+    Machine,
+    MemoryBudget,
+    OutOfMemoryError,
+    estimate_graph_bytes,
+)
+
+
+class TestMachine:
+    def test_compute_time_linear(self):
+        assert MACHINE_B.compute_time(100) == pytest.approx(
+            100 * MACHINE_B.seconds_per_work_unit)
+
+    def test_collective_time_grows_with_p(self):
+        small = MACHINE_B.collective_time(2, 0)
+        large = MACHINE_B.collective_time(1024, 0)
+        assert large > small
+        assert MACHINE_B.collective_time(1, 1000) == 0.0
+
+    def test_message_time(self):
+        t = MACHINE_B.message_time(2, 1000)
+        assert t == pytest.approx(2 * MACHINE_B.alpha_seconds
+                                  + 1000 * MACHINE_B.beta_seconds_per_byte)
+
+    def test_serial_machine_costs_nothing(self):
+        assert SERIAL.compute_time(1e9) == 0.0
+        assert SERIAL.collective_time(1, 1e9) == 0.0
+
+    def test_memory_per_pe_sharing(self):
+        # one PE on a 16-core node gets the whole node's RAM
+        assert MACHINE_B.memory_per_pe(1) == MACHINE_B.memory_per_node_bytes
+        assert MACHINE_B.memory_per_pe(8) == MACHINE_B.memory_per_node_bytes / 8
+        # beyond full occupancy the per-PE share stays at 1/cores
+        assert MACHINE_B.memory_per_pe(64) == MACHINE_B.memory_per_pe_bytes
+
+    def test_paper_machine_parameters(self):
+        assert MACHINE_A.cores_per_node == 32  # 4x octa-core
+        assert MACHINE_A.memory_per_node_bytes == 512e9
+        assert MACHINE_B.memory_per_node_bytes == 64e9
+        assert MACHINE_B.alpha_seconds == pytest.approx(1e-6)  # ~1 us InfiniBand
+
+
+class TestMemoryBudget:
+    def test_charge_within_budget(self):
+        budget = MemoryBudget(1000.0)
+        budget.charge(400)
+        budget.charge(400)
+        assert budget.used_bytes == 800
+        assert budget.headroom == pytest.approx(200)
+
+    def test_charge_over_budget_raises(self):
+        budget = MemoryBudget(1000.0)
+        with pytest.raises(OutOfMemoryError) as err:
+            budget.charge(1500, what="test blob")
+        assert "test blob" in str(err.value)
+        assert err.value.requested == 1500
+
+    def test_scale_applied(self):
+        budget = MemoryBudget(1000.0, scale=10.0)
+        with pytest.raises(OutOfMemoryError):
+            budget.charge(150)  # 150 * 10 > 1000
+
+    def test_release_returns_memory(self):
+        budget = MemoryBudget(1000.0)
+        budget.charge(900)
+        budget.release(500)
+        budget.charge(500)  # fits again
+        assert budget.peak_bytes == pytest.approx(900)
+
+    def test_release_never_goes_negative(self):
+        budget = MemoryBudget(1000.0)
+        budget.release(500)
+        assert budget.used_bytes == 0.0
+
+    def test_charge_graph_uses_csr_estimate(self):
+        budget = MemoryBudget(1e12)
+        budget.charge_graph(10, 20)
+        assert budget.used_bytes == estimate_graph_bytes(10, 20)
+
+
+class TestEstimate:
+    def test_formula(self):
+        # 8 * ((n+1) + n + 4m) with 64-bit everything
+        assert estimate_graph_bytes(100, 1000) == 8 * (101 + 100 + 4000)
+
+    def test_empty(self):
+        assert estimate_graph_bytes(0, 0) == 8

@@ -1,0 +1,42 @@
+"""Tests for the profiling helpers."""
+
+from __future__ import annotations
+
+from repro.perf import HotSpot, hotspots, profile_call
+
+
+def busy(n: int) -> int:
+    return sum(i * i for i in range(n))
+
+
+class TestProfiling:
+    def test_returns_result_and_rows(self):
+        result, rows = profile_call(busy, 10_000)
+        assert result == busy(10_000)
+        assert rows
+        assert all(isinstance(r, HotSpot) for r in rows)
+
+    def test_top_limits_rows(self):
+        _, rows = profile_call(busy, 1000, top=3)
+        assert len(rows) <= 3
+
+    def test_rows_sorted_by_cumulative(self):
+        _, rows = profile_call(busy, 10_000)
+        cums = [r.cumulative_seconds for r in rows]
+        assert cums == sorted(cums, reverse=True)
+
+    def test_hotspots_rendering(self):
+        _, rows = profile_call(busy, 1000)
+        table = hotspots(rows)
+        assert "cum[s]" in table
+        assert "busy" in table
+
+    def test_profiles_the_partitioner(self):
+        from repro import partition_graph
+        from repro.generators import rgg
+
+        g = rgg(9, seed=0)
+        result, rows = profile_call(partition_graph, g, k=4, preset="minimal", seed=0)
+        assert result.cut > 0
+        # the LP scan should be among the hot functions
+        assert any("label_propagation" in r.function for r in rows)
