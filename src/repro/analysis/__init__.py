@@ -1,0 +1,34 @@
+"""Static analysis for the simulated SPMD runtime.
+
+Two coordinated layers keep the repository's distributed algorithms
+honest about the contract of :mod:`repro.dist.comm`:
+
+* this package — an AST lint pass (``python -m repro.analysis lint src/``
+  or ``python -m repro lint``) with SPMD-specific rules: **SPMD-DIV**
+  (rank-guarded collectives / early returns), **RNG-GLOBAL**
+  (process-global random state instead of ``comm.rng``), **MUT-SHARED**
+  (direct writes to shared ``World`` state), **WORK-MISS** (advisory:
+  unaccounted edge-traversal loops);
+* the runtime collective-order sanitizer inside
+  :class:`~repro.dist.comm.World` (``World(sanitize=True)`` or
+  ``REPRO_SANITIZE=1``) plus the deadlock watchdog of
+  :func:`~repro.dist.runtime.run_spmd`, which catch at run time what the
+  static pass cannot prove.
+
+See ``docs/analysis.md`` for the rule catalogue with examples.
+"""
+
+from .findings import RULES, Finding, Rule, Severity
+from .linter import iter_python_files, lint_file, lint_paths, lint_source, run_lint
+
+__all__ = [
+    "Finding",
+    "RULES",
+    "Rule",
+    "Severity",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "run_lint",
+]

@@ -1,0 +1,116 @@
+"""File walking, rule execution, suppression filtering, reporting.
+
+:func:`lint_paths` is the programmatic API (used by the self-lint test);
+:func:`run_lint` adds reporting and an exit code for the CLIs
+(``python -m repro.analysis lint ...`` and ``python -m repro lint ...``).
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterable, Sequence, TextIO
+
+from .findings import RULES, Finding, Severity
+from .noqa import is_suppressed, parse_suppressions
+from .rules import check_module
+
+__all__ = ["iter_python_files", "lint_source", "lint_file", "lint_paths", "run_lint"]
+
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache"}
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if not _SKIP_DIRS.intersection(candidate.parts):
+                    files.add(candidate)
+        elif path.suffix == ".py":
+            files.add(path)
+        elif not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return sorted(files)
+
+
+def lint_source(source: str, path: str = "<string>") -> list[Finding]:
+    """Lint one source string; suppressions already applied."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(path, exc.lineno or 1, (exc.offset or 0) + 1, "PARSE",
+                    f"syntax error: {exc.msg}")
+        ]
+    findings = check_module(tree, path)
+    suppressions = parse_suppressions(source)
+    return [
+        f for f in findings if not is_suppressed(suppressions, f.line, f.code)
+    ]
+
+
+def lint_file(path: str | Path) -> list[Finding]:
+    return lint_source(Path(path).read_text(encoding="utf-8"), str(path))
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    include_advice: bool = True,
+    select: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Lint every Python file under ``paths``; findings sorted by location.
+
+    Raises :class:`ValueError` on an unknown ``select`` code — a typo'd
+    code must not silently lint nothing.
+    """
+    selected = None if select is None else {code.upper() for code in select}
+    if selected:
+        unknown = selected - set(RULES)
+        if unknown:
+            known = ", ".join(sorted(RULES))
+            raise ValueError(
+                f"unknown rule code(s): {', '.join(sorted(unknown))} "
+                f"(known: {known})"
+            )
+    findings: list[Finding] = []
+    for file in iter_python_files(paths):
+        for finding in lint_file(file):
+            if not include_advice and finding.severity is Severity.ADVICE:
+                continue
+            if selected is not None and finding.code not in selected:
+                continue
+            findings.append(finding)
+    return findings
+
+
+def run_lint(
+    paths: Sequence[str | Path],
+    include_advice: bool = True,
+    select: Iterable[str] | None = None,
+    show_fixit: bool = False,
+    stream: TextIO | None = None,
+) -> int:
+    """Lint, print a report, and return the process exit code.
+
+    The exit code is 1 when any *error*-severity finding survives;
+    advisory findings are reported but never fail the run.
+    """
+    out = stream if stream is not None else sys.stdout
+    try:
+        findings = lint_paths(paths, include_advice=include_advice, select=select)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"repro.analysis: {exc}", file=out)
+        return 2
+    for finding in findings:
+        print(finding.format(show_fixit=show_fixit), file=out)
+    errors = sum(1 for f in findings if f.severity is Severity.ERROR)
+    advice = len(findings) - errors
+    if findings:
+        print(f"{errors} error(s), {advice} advisory finding(s)", file=out)
+    else:
+        print("clean: no findings", file=out)
+    return 1 if errors else 0

@@ -1,0 +1,56 @@
+"""``# repro: noqa`` suppression comments.
+
+A finding is suppressed when the flagged line carries a comment of the
+form::
+
+    something()  # repro: noqa              (suppresses every rule)
+    something()  # repro: noqa[SPMD-DIV]    (suppresses one rule)
+    something()  # repro: noqa[RNG-GLOBAL, MUT-SHARED]
+
+Suppressions are per-line, matching the granularity findings are
+reported at.  A trailing free-text justification after the bracket is
+encouraged (and ignored by the parser).
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["parse_suppressions", "is_suppressed"]
+
+_ALL = "*"
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\s*\[(?P<codes>[A-Za-z0-9_\-,\s]+)\])?",
+)
+
+
+def parse_suppressions(source: str) -> dict[int, frozenset[str]]:
+    """Map 1-based line numbers to the set of suppressed rule codes.
+
+    The sentinel code ``'*'`` means every rule is suppressed on that line.
+    """
+    suppressions: dict[int, frozenset[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        if "#" not in line:
+            continue
+        match = _NOQA_RE.search(line)
+        if match is None:
+            continue
+        codes = match.group("codes")
+        if codes is None:
+            suppressions[lineno] = frozenset({_ALL})
+        else:
+            suppressions[lineno] = frozenset(
+                code.strip().upper() for code in codes.split(",") if code.strip()
+            )
+    return suppressions
+
+
+def is_suppressed(
+    suppressions: dict[int, frozenset[str]], line: int, code: str
+) -> bool:
+    """True when rule ``code`` is noqa'd on ``line``."""
+    codes = suppressions.get(line)
+    if codes is None:
+        return False
+    return _ALL in codes or code.upper() in codes

@@ -1,0 +1,511 @@
+"""AST implementations of the SPMD lint rules.
+
+The rules encode the contract of the simulated runtime
+(:mod:`repro.dist.comm`): every rank executes the same collectives in the
+same order, per-rank randomness comes only from ``comm.rng`` (or another
+explicitly seeded generator), and shared :class:`~repro.dist.comm.World`
+state is mutated only by :class:`~repro.dist.comm.SimComm` itself.
+
+All checks are heuristic — they see one file at a time and no types — so
+they are tuned to be precise on this codebase's idioms:
+
+* an expression is *rank-dependent* when it mentions an attribute named
+  ``rank``, a bare name ``rank``, a local variable assigned from such an
+  expression (one-level taint), or an attribute named ``size`` on a
+  receiver whose name contains ``comm``.  Plain ``.size`` (ubiquitous on
+  NumPy arrays) is deliberately not rank-dependent.  ``comm.size`` *is*
+  flagged even though it is uniform across ranks: such branches hide
+  collectives from some configurations (a ``p = 1`` run never executes
+  them) and routinely evolve into genuinely divergent ones.
+* collectives are recognised by method name (``comm.allgather(...)``,
+  ``dgraph.halo_exchange(...)``, ...), not receiver type.
+* rank-dependent *payloads* are fine — only rank-dependent *control flow*
+  around a collective call diverges — so the canonical
+  ``comm.bcast(x if comm.rank == root else None)`` is not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .findings import Finding
+
+__all__ = ["check_module", "COLLECTIVES", "SHARED_ATTRS"]
+
+#: method names treated as collectives (SimComm plus the DistGraph
+#: wrappers that are collective over their comm argument)
+COLLECTIVES = frozenset({
+    "barrier",
+    "allgather",
+    "allreduce",
+    "allreduce_max",
+    "allreduce_min",
+    "bcast",
+    "reduce",
+    "gather",
+    "exscan",
+    "alltoall",
+    "exchange",
+    "halo_exchange",
+    "gather_global",
+})
+
+#: World attributes only SimComm may write
+SHARED_ATTRS = frozenset({"slots", "scratch", "sim_time"})
+
+#: classes whose methods legitimately mutate the shared state
+_RUNTIME_CLASSES = frozenset({"World", "SimComm"})
+
+#: in-place mutators on lists / ndarrays reachable from a shared attribute
+_MUTATORS = frozenset({
+    "append", "extend", "insert", "pop", "remove", "clear", "sort",
+    "reverse", "fill", "setflags", "resize",
+})
+
+#: stateful module-level functions of the stdlib ``random`` module
+_PY_STATEFUL = frozenset({
+    "random", "randint", "randrange", "choice", "choices", "sample",
+    "shuffle", "uniform", "gauss", "normalvariate", "lognormvariate",
+    "expovariate", "betavariate", "gammavariate", "triangular",
+    "vonmisesvariate", "paretovariate", "weibullvariate", "getrandbits",
+    "seed",
+})
+
+#: stateful module-level functions of ``numpy.random`` (legacy global RNG)
+_NP_STATEFUL = frozenset({
+    "rand", "randn", "randint", "random", "random_sample", "ranf",
+    "sample", "choice", "permutation", "shuffle", "bytes", "uniform",
+    "normal", "standard_normal", "binomial", "poisson", "exponential",
+    "beta", "gamma", "seed", "get_state", "set_state",
+})
+
+#: names whose presence in a loop marks it as an edge-traversal loop
+_EDGE_NAMES = frozenset({"xadj", "adjncy", "adjwgt"})
+
+
+# ----------------------------------------------------------------------
+# Small AST helpers
+# ----------------------------------------------------------------------
+
+def _is_comm_like(node: ast.expr) -> bool:
+    """Heuristic: does this expression name a communicator?"""
+    if isinstance(node, ast.Name):
+        return "comm" in node.id.lower()
+    if isinstance(node, ast.Attribute):
+        return "comm" in node.attr.lower()
+    return False
+
+
+def _mentions_rank(node: ast.expr, tainted: frozenset[str]) -> bool:
+    """True when the expression is rank-dependent (see module docstring)."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute):
+            if sub.attr == "rank":
+                return True
+            if sub.attr == "size" and _is_comm_like(sub.value):
+                return True
+        elif isinstance(sub, ast.Name):
+            if sub.id == "rank" or sub.id in tainted:
+                return True
+    return False
+
+
+def _walk_shallow(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk a subtree without descending into nested function/class defs."""
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                              ast.ClassDef, ast.Lambda)):
+            continue
+        yield child
+        stack.extend(ast.iter_child_nodes(child))
+
+
+def _collective_name(call: ast.Call) -> str | None:
+    func = call.func
+    if isinstance(func, ast.Attribute) and func.attr in COLLECTIVES:
+        return func.attr
+    return None
+
+
+def _is_rank_scalar(node: ast.expr, tainted: set[str]) -> bool:
+    """Is this expression scalar arithmetic over the rank itself?
+
+    Taint deliberately stops at calls, subscripts and collection literals:
+    objects *built from* the rank (a DistGraph, a local slice) are
+    rank-local data, and branching on data is the normal SPMD pattern —
+    only branching on the rank number around a collective diverges.
+    """
+    if isinstance(node, ast.Attribute):
+        return node.attr == "rank"
+    if isinstance(node, ast.Name):
+        return node.id == "rank" or node.id in tainted
+    if isinstance(node, ast.BinOp):
+        return _is_rank_scalar(node.left, tainted) or _is_rank_scalar(node.right, tainted)
+    if isinstance(node, ast.UnaryOp):
+        return _is_rank_scalar(node.operand, tainted)
+    if isinstance(node, ast.Compare):
+        return _is_rank_scalar(node.left, tainted) or any(
+            _is_rank_scalar(c, tainted) for c in node.comparators
+        )
+    if isinstance(node, ast.BoolOp):
+        return any(_is_rank_scalar(v, tainted) for v in node.values)
+    if isinstance(node, ast.IfExp):
+        return any(
+            _is_rank_scalar(part, tainted)
+            for part in (node.test, node.body, node.orelse)
+        )
+    return False
+
+
+def _collect_taint(func: ast.AST) -> frozenset[str]:
+    """Names assigned (directly or transitively) scalar functions of rank."""
+    tainted: set[str] = set()
+    # Two passes pick up one level of transitivity in any statement order;
+    # deeper chains are rare enough not to chase.
+    for _ in range(2):
+        for node in ast.walk(func):
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and _is_rank_scalar(node.value, tainted)
+            ):
+                tainted.add(node.targets[0].id)
+    return frozenset(tainted)
+
+
+def _shared_attr_target(node: ast.expr) -> str | None:
+    """The shared World attribute a write target reaches, if any."""
+    if isinstance(node, ast.Attribute) and node.attr in SHARED_ATTRS:
+        return node.attr
+    if isinstance(node, ast.Subscript):
+        return _shared_attr_target(node.value)
+    return None
+
+
+class _RngImports:
+    """Module-level import aliases relevant to the RNG-GLOBAL rule."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.py_random: set[str] = set()       # `import random [as r]`
+        self.numpy: set[str] = set()           # `import numpy [as np]`
+        self.np_random: set[str] = set()       # `numpy.random` aliased directly
+        self.from_py: dict[str, str] = {}      # `from random import shuffle`
+        self.from_np: dict[str, str] = {}      # `from numpy.random import rand`
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    if alias.name == "random":
+                        self.py_random.add(bound)
+                    elif alias.name == "numpy":
+                        self.numpy.add(bound)
+                    elif alias.name == "numpy.random":
+                        if alias.asname:
+                            self.np_random.add(alias.asname)
+                        else:
+                            self.numpy.add(bound)
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module == "random":
+                    for alias in node.names:
+                        self.from_py[alias.asname or alias.name] = alias.name
+                elif node.module == "numpy.random":
+                    for alias in node.names:
+                        self.from_np[alias.asname or alias.name] = alias.name
+                elif node.module == "numpy":
+                    for alias in node.names:
+                        if alias.name == "random":
+                            self.np_random.add(alias.asname or alias.name)
+
+    def _is_np_random(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in self.np_random
+        return (
+            isinstance(node, ast.Attribute)
+            and node.attr == "random"
+            and isinstance(node.value, ast.Name)
+            and node.value.id in self.numpy
+        )
+
+    def violation(self, call: ast.Call) -> str | None:
+        """A message when this call touches global/unseeded random state."""
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            fn = func.attr
+            if isinstance(func.value, ast.Name) and func.value.id in self.py_random:
+                if fn in _PY_STATEFUL:
+                    return (
+                        f"`{func.value.id}.{fn}()` draws from the process-global "
+                        "RNG; SPMD code must use comm.rng (or a seeded "
+                        "random.Random)"
+                    )
+                if fn == "Random" and not call.args and not call.keywords:
+                    return (
+                        f"`{func.value.id}.Random()` without a seed is "
+                        "non-reproducible; pass an explicit seed"
+                    )
+            if self._is_np_random(func.value):
+                if fn in _NP_STATEFUL:
+                    return (
+                        f"`np.random.{fn}()` uses the legacy global NumPy RNG; "
+                        "SPMD code must use comm.rng (or a seeded default_rng)"
+                    )
+                if fn == "default_rng" and not call.args and not call.keywords:
+                    return (
+                        "`np.random.default_rng()` without a seed is "
+                        "non-reproducible; pass an explicit seed (or use comm.rng)"
+                    )
+        elif isinstance(func, ast.Name):
+            origin = self.from_py.get(func.id)
+            if origin in _PY_STATEFUL:
+                return (
+                    f"`{func.id}()` (from random) draws from the process-global "
+                    "RNG; SPMD code must use comm.rng"
+                )
+            origin = self.from_np.get(func.id)
+            if origin in _NP_STATEFUL:
+                return (
+                    f"`{func.id}()` (from numpy.random) uses the legacy global "
+                    "NumPy RNG; SPMD code must use comm.rng"
+                )
+            if origin == "default_rng" and not call.args and not call.keywords:
+                return (
+                    "`default_rng()` without a seed is non-reproducible; "
+                    "pass an explicit seed (or use comm.rng)"
+                )
+        return None
+
+
+# ----------------------------------------------------------------------
+# Per-function context
+# ----------------------------------------------------------------------
+
+class _FuncState:
+    """Pre-scanned facts about one function body."""
+
+    def __init__(self, node: ast.AST, is_module: bool = False) -> None:
+        self.tainted = _collect_taint(node)
+        self.collective_lines: list[int] = []
+        self.has_work = False
+        self.work_miss_reported = False
+        self.comm_param = False
+        if not is_module:
+            args = node.args
+            names = [a.arg for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)]
+            self.comm_param = any("comm" in name.lower() for name in names)
+        for sub in _walk_shallow(node):
+            if isinstance(sub, ast.Call):
+                if _collective_name(sub) is not None:
+                    self.collective_lines.append(sub.lineno)
+                elif isinstance(sub.func, ast.Attribute) and sub.func.attr == "work":
+                    self.has_work = True
+
+    def collectives_after(self, lineno: int) -> bool:
+        return any(line > lineno for line in self.collective_lines)
+
+
+class _Checker(ast.NodeVisitor):
+    def __init__(self, tree: ast.Module, path: str) -> None:
+        self.path = path
+        self.findings: list[Finding] = []
+        self.rng = _RngImports(tree)
+        self.class_stack: list[str] = []
+        self.func_stack: list[_FuncState] = [_FuncState(tree, is_module=True)]
+        self.div_depth = 0
+
+    # -- helpers -------------------------------------------------------
+
+    def report(self, node: ast.AST, code: str, message: str) -> None:
+        self.findings.append(
+            Finding(self.path, node.lineno, node.col_offset + 1, code, message)
+        )
+
+    @property
+    def func(self) -> _FuncState:
+        return self.func_stack[-1]
+
+    @property
+    def in_runtime_class(self) -> bool:
+        return any(name in _RUNTIME_CLASSES for name in self.class_stack)
+
+    def _rank_dep(self, node: ast.expr) -> bool:
+        return _mentions_rank(node, self.func.tainted)
+
+    def _visit_divergent(self, *bodies) -> None:
+        self.div_depth += 1
+        try:
+            for body in bodies:
+                if isinstance(body, list):
+                    for stmt in body:
+                        self.visit(stmt)
+                elif body is not None:
+                    self.visit(body)
+        finally:
+            self.div_depth -= 1
+
+    def _check_early_exit(self, body: list[ast.stmt]) -> None:
+        """Flag rank-guarded returns that skip collectives run later."""
+        for stmt in body:
+            for sub in (stmt, *_walk_shallow(stmt)):
+                if isinstance(sub, ast.Return) and self.func.collectives_after(sub.lineno):
+                    self.report(
+                        sub,
+                        "SPMD-DIV",
+                        "early return in a rank-dependent branch, but "
+                        "collectives follow later in this function; the "
+                        "returning rank(s) would never reach them and the "
+                        "rest would deadlock",
+                    )
+
+    # -- scopes --------------------------------------------------------
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self.class_stack.append(node.name)
+        self.generic_visit(node)
+        self.class_stack.pop()
+
+    def _visit_function(self, node) -> None:
+        self.func_stack.append(_FuncState(node))
+        saved_depth, self.div_depth = self.div_depth, 0
+        self.generic_visit(node)
+        self.div_depth = saved_depth
+        self.func_stack.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    # -- divergent control flow ----------------------------------------
+
+    def visit_If(self, node: ast.If) -> None:
+        if self._rank_dep(node.test):
+            self.visit(node.test)
+            self._check_early_exit(node.body)
+            self._check_early_exit(node.orelse)
+            self._visit_divergent(node.body, node.orelse)
+        else:
+            self.generic_visit(node)
+
+    def visit_While(self, node: ast.While) -> None:
+        if self._rank_dep(node.test):
+            self.visit(node.test)
+            self._maybe_work_miss(node)
+            self._visit_divergent(node.body, node.orelse)
+        else:
+            self._maybe_work_miss(node)
+            self.generic_visit(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        self._maybe_work_miss(node)
+        if self._rank_dep(node.iter):
+            self.visit(node.iter)
+            self.visit(node.target)
+            self._visit_divergent(node.body, node.orelse)
+        else:
+            self.generic_visit(node)
+
+    def visit_IfExp(self, node: ast.IfExp) -> None:
+        if self._rank_dep(node.test):
+            self.visit(node.test)
+            self._visit_divergent(node.body, node.orelse)
+        else:
+            self.generic_visit(node)
+
+    # -- rule bodies ---------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = _collective_name(node)
+        if name is not None and self.div_depth > 0:
+            self.report(
+                node,
+                "SPMD-DIV",
+                f"collective `{name}` is called under rank-dependent control "
+                "flow; ranks taking the other path skip it and the lock-step "
+                "slot protocol deadlocks",
+            )
+        rng_message = self.rng.violation(node)
+        if rng_message is not None:
+            self.report(node, "RNG-GLOBAL", rng_message)
+        if (
+            not self.in_runtime_class
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _MUTATORS
+        ):
+            attr = _shared_attr_target(node.func.value)
+            if attr is not None:
+                self.report(
+                    node,
+                    "MUT-SHARED",
+                    f"`{node.func.attr}()` mutates shared `World.{attr}` "
+                    "outside SimComm; the lock-step protocol owns that state",
+                )
+        self.generic_visit(node)
+
+    def _check_write_targets(self, node: ast.AST, targets: list[ast.expr]) -> None:
+        if self.in_runtime_class:
+            return
+        stack = list(targets)
+        while stack:
+            target = stack.pop()
+            if isinstance(target, (ast.Tuple, ast.List)):
+                stack.extend(target.elts)
+                continue
+            attr = _shared_attr_target(target)
+            if attr is not None:
+                self.report(
+                    node,
+                    "MUT-SHARED",
+                    f"direct write to shared `World.{attr}` outside SimComm; "
+                    "cross-rank data must flow through collectives "
+                    "(clock updates through comm.work())",
+                )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._check_write_targets(node, node.targets)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_write_targets(node, [node.target])
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._check_write_targets(node, [node.target])
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        self._check_write_targets(node, node.targets)
+        self.generic_visit(node)
+
+    def _maybe_work_miss(self, loop: ast.For | ast.While) -> None:
+        func = self.func
+        if not func.comm_param or func.has_work or func.work_miss_reported:
+            return
+        for sub in _walk_shallow(loop):
+            is_edge = (
+                isinstance(sub, ast.Name) and sub.id in _EDGE_NAMES
+            ) or (
+                isinstance(sub, ast.Attribute) and sub.attr in _EDGE_NAMES
+            )
+            if is_edge:
+                func.work_miss_reported = True
+                self.report(
+                    loop,
+                    "WORK-MISS",
+                    "edge-traversal loop in an SPMD function with no "
+                    "comm.work() accounting; the simulated clocks will not "
+                    "see this work",
+                )
+                return
+
+
+def check_module(tree: ast.Module, path: str) -> list[Finding]:
+    """Run every rule over one parsed module."""
+    checker = _Checker(tree, path)
+    checker.visit(tree)
+    # An early-return can be seen from several enclosing rank-guarded
+    # branches; report each location once.
+    unique = {(f.line, f.col, f.code): f for f in checker.findings}
+    return sorted(unique.values(), key=lambda f: (f.line, f.col, f.code))

@@ -7,6 +7,7 @@ Mirrors the ergonomics of the real tools (``parhip``, ``kaffpa``)::
     python -m repro evaluate graph.metis graph.part -k 8
     python -m repro cluster graph.metis -o clusters.txt
     python -m repro instances
+    python -m repro lint src/
 
 Graphs are read by extension: ``.metis``/``.graph`` (METIS format),
 ``.dimacs``/``.col`` (DIMACS), ``.npz`` (native), anything else is tried
@@ -129,6 +130,20 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis import run_lint
+
+    select = None
+    if args.select:
+        select = [code.strip() for code in args.select.split(",") if code.strip()]
+    return run_lint(
+        args.paths,
+        include_advice=not args.no_advice,
+        select=select,
+        show_fixit=args.fixit,
+    )
+
+
 def _cmd_instances(_args: argparse.Namespace) -> int:
     print(f"{'name':14s} {'type':4s} {'group':6s} {'paper n':>10s} {'paper m':>10s}")
     for name, inst in generators.INSTANCES.items():
@@ -184,6 +199,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     i = sub.add_parser("instances", help="list the Table I instance registry")
     i.set_defaults(func=_cmd_instances)
+
+    lint = sub.add_parser(
+        "lint", help="SPMD static analysis (divergence / RNG / shared-state rules)"
+    )
+    lint.add_argument("paths", nargs="*", default=["src"],
+                      help="files or directories to lint (default: src)")
+    lint.add_argument("--no-advice", action="store_true",
+                      help="hide advisory findings (they never fail the run)")
+    lint.add_argument("--select", default=None,
+                      help="comma-separated rule codes to report (default: all)")
+    lint.add_argument("--fixit", action="store_true",
+                      help="print the fix-it hint under each finding")
+    lint.set_defaults(func=_cmd_lint)
     return parser
 
 

@@ -71,6 +71,13 @@ class PartitionConfig:
     #: treat the input as a social/complex network (picks the f factor);
     #: ``None`` auto-detects from the degree distribution tail.
     social: bool | None = None
+    #: run the SPMD collective-order sanitizer during parallel runs
+    #: (``None`` defers to the ``REPRO_SANITIZE`` environment variable;
+    #: see docs/analysis.md)
+    sanitize: bool | None = None
+    #: wall-clock watchdog for one parallel run, in seconds (``None``
+    #: defers to ``REPRO_SPMD_TIMEOUT``, then 60 s; <= 0 disables)
+    spmd_timeout: float | None = None
     name: str = "fast"
 
     def __post_init__(self) -> None:

@@ -1,13 +1,23 @@
 """Simulated distributed-memory runtime and the parallel partitioner."""
 
-from .comm import CommStats, SimComm, World, payload_bytes
+from .comm import (
+    CollectiveMismatchError,
+    CommStats,
+    SharedStateMutationError,
+    SimComm,
+    World,
+    payload_bytes,
+)
 from .dgraph import DistGraph, balanced_vtxdist
-from .runtime import SpmdResult, run_spmd
+from .runtime import SpmdDeadlockError, SpmdResult, run_spmd
 
 __all__ = [
+    "CollectiveMismatchError",
     "CommStats",
     "DistGraph",
+    "SharedStateMutationError",
     "SimComm",
+    "SpmdDeadlockError",
     "SpmdResult",
     "World",
     "balanced_vtxdist",

@@ -29,10 +29,27 @@ a bulk-synchronous superstep: all clocks jump to the maximum across ranks
 plus the collective's alpha–beta cost from the :class:`~repro.perf.machine.Machine`
 model.  Wall-clock claims in the scaling figures come from these clocks,
 while *quality* numbers are real algorithm outputs.
+
+Collective-order sanitizer
+--------------------------
+The lock-step protocol silently assumes every rank calls the same
+collectives in the same order and that nobody touches the shared slot
+arrays directly; a violation shows up as a hang or corrupted data.  With
+``World(sanitize=True)`` (or ``REPRO_SANITIZE=1`` in the environment)
+every collective stamps an ``(op, sequence number, call site)`` tag into
+a dedicated slot exchange and verifies, after the first barrier, that all
+ranks agree — raising :class:`CollectiveMismatchError` naming the
+divergent ranks otherwise.  Direct writes to ``World.slots`` /
+``World.scratch`` raise :class:`SharedStateMutationError`, and
+``World.sim_time`` becomes a read-only view.  On correct programs the
+sanitizer is behaviourally transparent (identical results, clocks and
+stats).  The static companion of these checks is :mod:`repro.analysis`.
 """
 
 from __future__ import annotations
 
+import os
+import sys
 import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
@@ -41,13 +58,117 @@ import numpy as np
 
 from ..perf.machine import SERIAL, Machine
 
-__all__ = ["World", "SimComm", "CommStats", "payload_bytes"]
+__all__ = [
+    "World",
+    "SimComm",
+    "CommStats",
+    "payload_bytes",
+    "CollectiveMismatchError",
+    "SharedStateMutationError",
+]
+
+
+class CollectiveMismatchError(RuntimeError):
+    """Ranks disagreed on which collective to run (SPMD divergence).
+
+    Raised identically on every rank by the sanitizer, with the
+    per-rank op tags and the set of divergent ranks in the message.
+    """
+
+    def __init__(self, message: str, divergent_ranks: Sequence[int] = ()) -> None:
+        super().__init__(message)
+        self.divergent_ranks = tuple(divergent_ranks)
+
+
+class SharedStateMutationError(RuntimeError):
+    """Direct write to shared ``World`` state outside ``SimComm``."""
+
+
+def _env_sanitize() -> bool:
+    return os.environ.get("REPRO_SANITIZE", "").strip().lower() in {
+        "1", "true", "yes", "on",
+    }
+
+
+def _callsite(max_frames: int = 2) -> str:
+    """Short ``file:line in func`` chain of the first non-comm frames."""
+    frame = sys._getframe(2)
+    parts: list[str] = []
+    while frame is not None and len(parts) < max_frames:
+        code = frame.f_code
+        if code.co_filename != __file__:
+            parts.append(
+                f"{os.path.basename(code.co_filename)}:{frame.f_lineno} "
+                f"in {code.co_name}"
+            )
+        frame = frame.f_back
+    return " <- ".join(parts) or "<unknown>"
+
+
+class _GuardedList(list):
+    """Slot array that rejects writes unless SimComm holds the write token.
+
+    The token lives in the world's thread-local state, so a rank writing
+    ``world.slots[...]`` directly — racing the lock-step protocol — is
+    caught at the write, with rank attribution.
+    """
+
+    __slots__ = ("_world", "_name")
+
+    def __init__(self, world: "World", name: str, items: list[Any]) -> None:
+        super().__init__(items)
+        self._world = world
+        self._name = name
+
+    def _check(self) -> None:
+        local = self._world._local
+        if getattr(local, "unlocked", False):
+            return
+        rank = getattr(local, "rank", None)
+        who = f"rank {rank}" if rank is not None else "caller"
+        raise SharedStateMutationError(
+            f"{who} wrote World.{self._name} directly; shared state may only "
+            f"be mutated through SimComm collectives (MUT-SHARED)"
+        )
+
+    def __setitem__(self, index, value):
+        self._check()
+        return super().__setitem__(index, value)
+
+    def __delitem__(self, index):
+        self._check()
+        return super().__delitem__(index)
+
+    def _mutator(name):  # noqa: N805 - decorator-style helper, not a method
+        def guarded(self, *args, **kwargs):
+            self._check()
+            return getattr(super(_GuardedList, self), name)(*args, **kwargs)
+        guarded.__name__ = name
+        return guarded
+
+    append = _mutator("append")
+    extend = _mutator("extend")
+    insert = _mutator("insert")
+    pop = _mutator("pop")
+    remove = _mutator("remove")
+    clear = _mutator("clear")
+    sort = _mutator("sort")
+    reverse = _mutator("reverse")
+    del _mutator
 
 
 def payload_bytes(payload: Any) -> int:
-    """Approximate wire size of a payload (NumPy-aware, 8 bytes per scalar)."""
+    """Approximate wire size of a payload (NumPy-aware, 8 bytes per scalar).
+
+    ``None`` is free (it encodes "no message"), booleans cost one byte,
+    and strings are costed at their UTF-8 encoding, not their character
+    count.  Containers sum their members, so ``bool``/``None`` elements
+    are priced the same inside a list as at top level.
+    """
     if payload is None:
         return 0
+    if isinstance(payload, (bool, np.bool_)):
+        return 1
     if isinstance(payload, np.ndarray):
         return int(payload.nbytes)
     if isinstance(payload, (list, tuple)):
@@ -56,7 +177,9 @@ def payload_bytes(payload: Any) -> int:
         return sum(payload_bytes(k) + payload_bytes(v) for k, v in payload.items())
     if isinstance(payload, (int, float, np.integer, np.floating)):
         return 8
-    if isinstance(payload, (bytes, str)):
+    if isinstance(payload, str):
+        return len(payload.encode("utf-8"))
+    if isinstance(payload, (bytes, bytearray)):
         return len(payload)
     return 64  # opaque object: flat estimate
 
@@ -72,20 +195,48 @@ class CommStats:
 
 
 class World:
-    """Shared state for one SPMD execution of ``size`` simulated PEs."""
+    """Shared state for one SPMD execution of ``size`` simulated PEs.
 
-    def __init__(self, size: int, machine: Machine | None = None, seed: int = 0) -> None:
+    ``sanitize=None`` (the default) defers to the ``REPRO_SANITIZE``
+    environment variable; an explicit ``True``/``False`` wins over it.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        machine: Machine | None = None,
+        seed: int = 0,
+        sanitize: bool | None = None,
+    ) -> None:
         if size < 1:
             raise ValueError("world size must be >= 1")
         self.size = size
         self.machine = machine or SERIAL
         self.seed = seed
+        self.sanitize = _env_sanitize() if sanitize is None else bool(sanitize)
         self.barrier = threading.Barrier(size)
-        self.slots: list[Any] = [None] * size
-        self.scratch: list[Any] = [None] * size
-        self.sim_time = np.zeros(size, dtype=np.float64)
+        self._local = threading.local()
+        if self.sanitize:
+            self.slots: list[Any] = _GuardedList(self, "slots", [None] * size)
+            self.scratch: list[Any] = _GuardedList(self, "scratch", [None] * size)
+        else:
+            self.slots = [None] * size
+            self.scratch = [None] * size
+        self._sim_time = np.zeros(size, dtype=np.float64)
+        self._sim_time_ro = self._sim_time.view()
+        self._sim_time_ro.setflags(write=False)
         self.stats = [CommStats() for _ in range(size)]
+        #: per-rank (op, collective count) stamped at collective entry;
+        #: the deadlock watchdog reads it to say where a rank is stuck.
+        self.progress: list[tuple[str, int] | None] = [None] * size
+        #: per-rank (op, seq, call site) tags of the collective in flight
+        self._san_tags: list[tuple[str, int, str] | None] = [None] * size
         self.aborted = False
+
+    @property
+    def sim_time(self) -> np.ndarray:
+        """Per-rank simulated clocks (read-only under the sanitizer)."""
+        return self._sim_time_ro if self.sanitize else self._sim_time
 
     def abort(self) -> None:
         """Break the barrier so all ranks unwind after a failure."""
@@ -93,7 +244,7 @@ class World:
         self.barrier.abort()
 
     def comm(self, rank: int) -> "SimComm":
-        """The communicator handle for one rank."""
+        """The communicator handle for one rank (call on the rank's thread)."""
         return SimComm(self, rank)
 
 
@@ -107,6 +258,9 @@ class SimComm:
         self.rng = np.random.default_rng((world.seed, rank))
         self._outbox: dict[int, list[Any]] = {}
         self._inbox: list[tuple[int, Any]] = []
+        self._seq = 0  # collectives issued by this rank (sanitizer tags)
+        # Remember which rank runs on this thread, for mutation attribution.
+        world._local.rank = rank
 
     # ------------------------------------------------------------------
     # Cost accounting
@@ -115,12 +269,12 @@ class SimComm:
         """Account ``units`` of local computation on this rank's clock."""
         stats = self.world.stats[self.rank]
         stats.work_units += units
-        self.world.sim_time[self.rank] += self.world.machine.compute_time(units)
+        self.world._sim_time[self.rank] += self.world.machine.compute_time(units)
 
     @property
     def sim_time(self) -> float:
         """This rank's simulated clock, in seconds."""
-        return float(self.world.sim_time[self.rank])
+        return float(self.world._sim_time[self.rank])
 
     @property
     def stats(self) -> CommStats:
@@ -132,19 +286,71 @@ class SimComm:
     def _sync(self) -> None:
         self.world.barrier.wait()
 
-    def _collect(self, value: Any, recv_bytes_fn: Callable[[list[Any]], int]) -> list[Any]:
+    def _put(self, container: list[Any], value: Any) -> None:
+        """Write ``container[self.rank]`` holding the sanitizer write token."""
+        world = self.world
+        if world.sanitize:
+            world._local.unlocked = True
+            try:
+                container[self.rank] = value
+            finally:
+                world._local.unlocked = False
+        else:
+            container[self.rank] = value
+
+    def _verify_tags(self) -> None:
+        """After the first barrier: do all ranks run the same collective?"""
+        tags = list(self.world._san_tags)
+        if len({(t[0], t[1]) for t in tags if t is not None}) <= 1 and None not in tags:
+            return
+        # Majority opinion defines the common stream; the rest diverged.
+        # Every rank computes the identical verdict from the same snapshot.
+        counts: dict[tuple[str, int], int] = {}
+        for tag in tags:
+            if tag is not None:
+                key = (tag[0], tag[1])
+                counts[key] = counts.get(key, 0) + 1
+        majority = max(counts, key=lambda key: counts[key])
+        divergent = [
+            r for r, tag in enumerate(tags)
+            if tag is None or (tag[0], tag[1]) != majority
+        ]
+        lines = [
+            f"  rank {r}: "
+            + (f"{tag[0]} #{tag[1]} at {tag[2]}" if tag is not None else "<no collective>")
+            for r, tag in enumerate(tags)
+        ]
+        raise CollectiveMismatchError(
+            f"collective order mismatch (SPMD divergence): rank(s) {divergent} "
+            f"diverged from the common stream ({majority[0]} #{majority[1]}):\n"
+            + "\n".join(lines),
+            divergent_ranks=divergent,
+        )
+
+    def _collect(
+        self,
+        value: Any,
+        recv_bytes_fn: Callable[[list[Any]], int],
+        op: str = "collective",
+    ) -> list[Any]:
         """Gather one value from each rank; advance all clocks in lock-step."""
         world = self.world
-        world.slots[self.rank] = value
+        world.progress[self.rank] = (op, self.stats.collectives + 1)
+        if world.sanitize:
+            self._seq += 1
+            world._san_tags[self.rank] = (op, self._seq, _callsite())
+        self._put(world.slots, value)
         self._sync()
+        if world.sanitize:
+            self._verify_tags()
         gathered = list(world.slots)
         # Deterministic clock update: every rank computes the same new base
         # time from the snapshot, then adds its own receive cost.
-        world.scratch[self.rank] = world.sim_time[self.rank]
+        self._put(world.scratch, world._sim_time[self.rank])
         self._sync()
         base = max(world.scratch)  # type: ignore[type-var]
         recv = recv_bytes_fn(gathered)
-        world.sim_time[self.rank] = base + world.machine.collective_time(self.size, recv)
+        world._sim_time[self.rank] = base + world.machine.collective_time(self.size, recv)
         self.stats.collectives += 1
         self._sync()
         return gathered
@@ -154,11 +360,12 @@ class SimComm:
     # ------------------------------------------------------------------
     def barrier(self) -> None:
         """Synchronise all ranks (and their simulated clocks)."""
-        self._collect(None, lambda _: 0)
+        self._collect(None, lambda _: 0, op="barrier")
 
     def allgather(self, value: Any) -> list[Any]:
         """Every rank receives the list of all ranks' values."""
-        return self._collect(value, lambda vals: sum(payload_bytes(v) for v in vals))
+        return self._collect(value, lambda vals: sum(payload_bytes(v) for v in vals),
+                             op="allgather")
 
     def allreduce(self, value: Any, op: Callable[[Any, Any], Any] | None = None) -> Any:
         """Reduce values from all ranks; every rank receives the result.
@@ -166,7 +373,7 @@ class SimComm:
         ``op`` defaults to elementwise addition (NumPy-aware).  Any
         associative, commutative binary callable works.
         """
-        values = self._collect(value, lambda vals: payload_bytes(vals[0]))
+        values = self._collect(value, lambda vals: payload_bytes(vals[0]), op="allreduce")
         if op is None:
             result = values[0]
             for other in values[1:]:
@@ -190,6 +397,7 @@ class SimComm:
         values = self._collect(
             value if self.rank == root else None,
             lambda vals: payload_bytes(vals[root]),
+            op="bcast",
         )
         return values[root]
 
@@ -205,7 +413,7 @@ class SimComm:
 
     def exscan(self, value: int | float) -> int | float:
         """Exclusive prefix sum (rank 0 receives 0) — Section IV-C's q map."""
-        values = self._collect(value, lambda vals: 8)
+        values = self._collect(value, lambda vals: 8, op="exscan")
         return type(value)(sum(values[: self.rank]))
 
     def alltoall(self, per_destination: Sequence[Any]) -> list[Any]:
@@ -218,6 +426,7 @@ class SimComm:
         rows = self._collect(
             list(per_destination),
             lambda vals: sum(payload_bytes(row[self.rank]) for row in vals),
+            op="alltoall",
         )
         self.stats.messages_sent += sum(
             1 for dest, payload in enumerate(per_destination)

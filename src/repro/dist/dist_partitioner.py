@@ -297,6 +297,8 @@ def parallel_partition(
         seed,
         machine=machine,
         seed=seed,
+        sanitize=config.sanitize,
+        timeout=config.spmd_timeout,
         memory_budget=memory_budget,
         memory_scale=memory_scale,
         replica_memory_scale=replica_memory_scale,

@@ -6,11 +6,20 @@ If any rank raises, the shared barrier is aborted so the remaining ranks
 unwind instead of deadlocking, and the first failure is re-raised in the
 caller — including simulated :class:`~repro.perf.memory.OutOfMemoryError`,
 which the bench harness catches to produce the paper's ``*`` table entries.
+
+A wall-clock watchdog guards the join: a program that diverges on its
+collective order (one rank stuck at a barrier the others never reach)
+raises :class:`SpmdDeadlockError` naming the stuck ranks and the
+collective each one last entered, instead of hanging the caller forever.
+The default budget is 60 seconds, overridable per call (``timeout=``) or
+process-wide via ``REPRO_SPMD_TIMEOUT`` (``0`` disables the watchdog).
 """
 
 from __future__ import annotations
 
+import os
 import threading
+import time
 from dataclasses import dataclass
 from typing import Any, Callable
 
@@ -19,7 +28,40 @@ import numpy as np
 from ..perf.machine import Machine
 from .comm import CommStats, World
 
-__all__ = ["SpmdResult", "run_spmd"]
+__all__ = ["SpmdResult", "SpmdDeadlockError", "run_spmd", "DEFAULT_SPMD_TIMEOUT"]
+
+#: default wall-clock watchdog for one SPMD execution, in seconds
+DEFAULT_SPMD_TIMEOUT = 60.0
+
+
+class SpmdDeadlockError(RuntimeError):
+    """An SPMD program hung past the watchdog (collective divergence).
+
+    ``stuck_ranks`` lists the ranks that were still running when the
+    watchdog fired; the message says which collective each one had last
+    entered.
+    """
+
+    def __init__(self, message: str, stuck_ranks: tuple[int, ...] = ()) -> None:
+        super().__init__(message)
+        self.stuck_ranks = tuple(stuck_ranks)
+
+
+def _resolve_timeout(timeout: float | None) -> float | None:
+    """Explicit argument wins; then ``REPRO_SPMD_TIMEOUT``; then 60 s.
+
+    Values <= 0 (from either source) disable the watchdog entirely.
+    """
+    if timeout is None:
+        env = os.environ.get("REPRO_SPMD_TIMEOUT", "").strip()
+        if env:
+            try:
+                timeout = float(env)
+            except ValueError:
+                timeout = DEFAULT_SPMD_TIMEOUT
+        else:
+            timeout = DEFAULT_SPMD_TIMEOUT
+    return timeout if timeout > 0 else None
 
 
 @dataclass
@@ -51,6 +93,8 @@ def run_spmd(
     *args: Any,
     machine: Machine | None = None,
     seed: int = 0,
+    sanitize: bool | None = None,
+    timeout: float | None = None,
     **kwargs: Any,
 ) -> SpmdResult:
     """Run ``program(comm, *args, **kwargs)`` on ``size`` simulated PEs.
@@ -58,8 +102,12 @@ def run_spmd(
     The program must be SPMD: every rank calls the same sequence of
     collectives.  Per-rank randomness should come from ``comm.rng``, which
     is deterministically seeded from ``(seed, rank)``.
+
+    ``sanitize`` enables the collective-order sanitizer (``None`` defers
+    to ``REPRO_SANITIZE``); ``timeout`` bounds the wall-clock join
+    (``None`` defers to ``REPRO_SPMD_TIMEOUT``, then 60 s; <= 0 disables).
     """
-    world = World(size, machine=machine, seed=seed)
+    world = World(size, machine=machine, seed=seed, sanitize=sanitize)
 
     if size == 1:
         # Fast path: no threads needed; barriers over one rank are no-ops.
@@ -88,8 +136,43 @@ def run_spmd(
     ]
     for t in threads:
         t.start()
-    for t in threads:
-        t.join()
+
+    wall_budget = _resolve_timeout(timeout)
+    if wall_budget is None:
+        for t in threads:
+            t.join()
+    else:
+        deadline = time.monotonic() + wall_budget
+        for t in threads:
+            t.join(max(0.0, deadline - time.monotonic()))
+        stuck = tuple(rank for rank, t in enumerate(threads) if t.is_alive())
+        if stuck and not errors:
+            waiting = world.barrier.n_waiting
+            details = []
+            for rank in stuck:
+                progress = world.progress[rank]
+                where = (
+                    f"last entered collective #{progress[1]} ({progress[0]})"
+                    if progress is not None
+                    else "before its first collective"
+                )
+                details.append(f"  rank {rank}: {where}")
+            world.abort()  # break the barrier so the stuck ranks unwind
+            for t in threads:
+                t.join(1.0)
+            raise SpmdDeadlockError(
+                f"SPMD deadlock: rank(s) {list(stuck)} still running after "
+                f"{wall_budget:.1f}s wall clock ({waiting}/{size} ranks waiting "
+                "at the barrier); some ranks diverged from the common "
+                "collective order:\n" + "\n".join(details),
+                stuck_ranks=stuck,
+            )
+        if stuck:
+            # A rank failed *and* others are wedged: abort and re-raise the
+            # original failure below.
+            world.abort()
+            for t in threads:
+                t.join(1.0)
 
     if errors:
         rank, first = min(errors, key=lambda pair: pair[0])

@@ -1,0 +1,45 @@
+"""SPMD-DIV violations: rank-dependent control flow around collectives.
+
+Lint fixture — never imported; the names are intentionally undefined.
+"""
+
+
+def guarded_collective(comm, data):
+    if comm.rank == 0:
+        comm.allgather(data)  # DIV: only rank 0 calls it
+
+
+def guarded_else_branch(comm):
+    if comm.rank % 2 == 0:
+        total = 1
+    else:
+        comm.barrier()  # DIV: odd ranks only
+        total = 2
+    return total
+
+
+def early_return(comm, data):
+    if comm.rank != 0:
+        return None  # DIV: collectives follow below
+    return comm.allreduce(data)
+
+
+def rank_bounded_loop(comm):
+    for _ in range(comm.rank):
+        comm.barrier()  # DIV: iteration count differs per rank
+
+
+def size_guard(comm):
+    if comm.size > 1:
+        comm.exchange()  # DIV: hides the collective from p=1 runs
+
+
+def tainted_guard(comm):
+    me = comm.rank + 1
+    while me > 1:
+        comm.exscan(1)  # DIV: `me` is a scalar function of the rank
+        me -= 1
+
+
+def conditional_expression_collective(comm, flag):
+    return comm.bcast(1) if comm.rank == 0 else None  # DIV: call is conditional

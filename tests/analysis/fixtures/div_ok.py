@@ -1,0 +1,57 @@
+"""Correct SPMD patterns the SPMD-DIV rule must NOT flag.
+
+Lint fixture — never imported; the names are intentionally undefined.
+"""
+
+
+def unconditional(comm, data):
+    return comm.allgather(data)
+
+
+def rank_dependent_payload(comm, value, root=0):
+    # The canonical pattern: the *payload* depends on the rank, the call
+    # itself is unconditional.
+    return comm.bcast(value if comm.rank == root else None, root=root)
+
+
+def rank_local_compute(comm):
+    if comm.rank == 0:
+        extra = sum(range(10))  # no collective inside the branch
+    else:
+        extra = 0
+    comm.barrier()
+    return extra
+
+
+def guarded_buffered_sends(comm, payload):
+    # send_buffered is point-to-point, not a collective; only the
+    # exchange() that moves the data must be unconditional.
+    if comm.rank % 2 == 0:
+        comm.send_buffered((comm.rank + 1) % comm.size, payload)
+    return comm.exchange()
+
+
+def data_dependent_guard(comm, items):
+    if len(items) > 0:  # not rank-dependent
+        comm.barrier()
+
+
+def rank_derived_data_guard(comm, dgraph_factory):
+    # Objects *built from* the rank are rank-local data; branching on
+    # them is the normal SPMD pattern (taint stops at calls).
+    dgraph = dgraph_factory(comm.rank)
+    while dgraph.n_global > 1:
+        dgraph = dgraph.coarsen(comm.allreduce(dgraph.n_local))
+    return dgraph
+
+
+def numpy_size_guard(comm, changed_arr):
+    if changed_arr.size == 0:  # .size on a non-comm receiver is fine
+        comm.barrier()
+
+
+def late_return_after_collectives(comm, data):
+    gathered = comm.allgather(data)
+    if comm.rank == 0:
+        return gathered  # no collective follows: every rank may exit here
+    return None

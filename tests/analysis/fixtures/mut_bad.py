@@ -1,0 +1,28 @@
+"""MUT-SHARED violations: direct writes to shared World state.
+
+Lint fixture — never imported.
+"""
+
+
+def poke_slots(world, value):
+    world.slots[0] = value  # MUT: bypasses the lock-step protocol
+
+
+def poke_scratch(world):
+    world.scratch[1] = None  # MUT
+
+
+def poke_clock(world, rank):
+    world.sim_time[rank] += 1.0  # MUT: clocks move via comm.work() only
+
+
+def grow_slots(world):
+    world.slots.append(None)  # MUT: in-place mutator
+
+
+def rebind_slots(world):
+    world.slots = []  # MUT: rebinding is as bad as writing
+
+
+def nested_receiver(comm, value):
+    comm.world.slots[comm.rank] = value  # MUT: any receiver counts

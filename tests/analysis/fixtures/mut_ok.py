@@ -1,0 +1,26 @@
+"""Patterns the MUT-SHARED rule must NOT flag.
+
+Lint fixture — never imported.
+"""
+
+
+def reads_are_fine(world):
+    snapshot = list(world.slots)
+    latest = world.sim_time[0]
+    return snapshot, latest
+
+
+def local_names_are_fine():
+    slots = [None] * 4
+    slots[0] = 1  # bare name, not an attribute of a World
+    sim_time = 0.0
+    sim_time += 1.0
+    return slots, sim_time
+
+
+class SimComm:
+    """The runtime classes themselves legitimately own the shared state."""
+
+    def lock_step_write(self, value):
+        self.world.slots[0] = value
+        self.world.scratch[0] = value

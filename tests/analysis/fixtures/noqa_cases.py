@@ -1,0 +1,23 @@
+"""``# repro: noqa`` suppression behaviour.
+
+Lint fixture — never imported.
+"""
+
+
+def suppressed_by_code(comm):
+    if comm.rank == 0:
+        comm.barrier()  # repro: noqa[SPMD-DIV] fixture: deliberately divergent
+
+
+def suppressed_all_rules(world):
+    world.slots[0] = 1  # repro: noqa
+
+
+def suppressed_two_codes(comm, world):
+    if comm.rank == 0:
+        world.slots[0] = comm.bcast(1)  # repro: noqa[SPMD-DIV, MUT-SHARED]
+
+
+def wrong_code_still_reported(comm):
+    if comm.rank == 0:
+        comm.barrier()  # repro: noqa[RNG-GLOBAL] wrong code: finding survives

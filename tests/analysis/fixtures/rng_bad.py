@@ -1,0 +1,35 @@
+"""RNG-GLOBAL violations: process-global or unseeded random state.
+
+Lint fixture — never imported.
+"""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+from random import shuffle
+
+
+def legacy_numpy_global(n):
+    values = np.random.rand(n)  # RNG: legacy global NumPy RNG
+    np.random.seed(0)  # RNG: reseeds the process-global state
+    return values
+
+
+def stdlib_global(n):
+    pick = random.randint(0, n)  # RNG: process-global stdlib RNG
+    items = list(range(n))
+    random.shuffle(items)  # RNG: process-global stdlib RNG
+    return pick, items
+
+
+def imported_names(items):
+    shuffle(items)  # RNG: `from random import shuffle`
+    return items
+
+
+def unseeded_generators():
+    a = np.random.default_rng()  # RNG: unseeded — non-reproducible
+    b = default_rng()  # RNG: unseeded — non-reproducible
+    c = random.Random()  # RNG: unseeded — non-reproducible
+    return a, b, c

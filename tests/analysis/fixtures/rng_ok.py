@@ -1,0 +1,27 @@
+"""Deterministic RNG patterns the RNG-GLOBAL rule must NOT flag.
+
+Lint fixture — never imported.
+"""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def comm_rng(comm, n):
+    # The SPMD way: the per-rank generator seeded from (seed, rank).
+    return comm.rng.integers(0, n)
+
+
+def seeded_generators(seed):
+    rng = np.random.default_rng(seed)
+    tie = random.Random(int(rng.integers(0, 2**31)))
+    other = default_rng(seed=seed)
+    return rng, tie, other
+
+
+def generator_methods(rng):
+    # Methods on a Generator instance share names with the global
+    # functions but are fine.
+    return rng.choice([1, 2, 3]), rng.permutation(4)

@@ -1,0 +1,28 @@
+"""WORK-MISS (advisory): edge loops with and without work accounting.
+
+Lint fixture — never imported.
+"""
+
+
+def unaccounted_scan(dgraph, comm, labels):
+    total = 0
+    for v in range(dgraph.n_local):  # WORK-MISS: no comm.work() anywhere
+        for idx in range(dgraph.xadj[v], dgraph.xadj[v + 1]):
+            total += labels[dgraph.adjncy[idx]]
+    return total
+
+
+def accounted_scan(dgraph, comm, labels):
+    total = 0
+    arcs = 0
+    for v in range(dgraph.n_local):
+        for idx in range(dgraph.xadj[v], dgraph.xadj[v + 1]):
+            total += labels[dgraph.adjncy[idx]]
+            arcs += 1
+    comm.work(arcs)
+    return total
+
+
+def no_comm_no_advice(graph, xadj, adjncy):
+    # Sequential code (no comm parameter) has no simulated clock to feed.
+    return sum(adjncy[xadj[v]] for v in range(graph.n))

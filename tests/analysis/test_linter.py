@@ -1,0 +1,155 @@
+"""Tests for the SPMD lint pass (repro.analysis).
+
+The fixture corpus under ``fixtures/`` carries its own oracle: every
+line that must be flagged ends in a marker comment (``# DIV:``,
+``# RNG:``, ``# MUT:``, ``# WORK-MISS:``), so the expected finding set is
+read straight from the file and cannot drift from the code.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import RULES, Severity, lint_file, lint_paths, lint_source, run_lint
+from repro.analysis.__main__ import main as analysis_main
+from repro.cli import main as cli_main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+_MARKERS = {
+    "# WORK-MISS": "WORK-MISS",
+    "# DIV": "SPMD-DIV",
+    "# RNG": "RNG-GLOBAL",
+    "# MUT": "MUT-SHARED",
+}
+
+
+def expected_findings(path: Path) -> set[tuple[int, str]]:
+    expected = set()
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        for marker, code in _MARKERS.items():
+            if marker in line:
+                expected.add((lineno, code))
+                break
+    return expected
+
+
+def actual_findings(path: Path) -> set[tuple[int, str]]:
+    return {(f.line, f.code) for f in lint_file(path)}
+
+
+class TestRuleCorpus:
+    @pytest.mark.parametrize("name", ["div_bad.py", "rng_bad.py", "mut_bad.py",
+                                      "work_miss.py"])
+    def test_bad_fixtures_flag_exactly_the_marked_lines(self, name):
+        path = FIXTURES / name
+        expected = expected_findings(path)
+        assert expected, f"fixture {name} has no expected-finding markers"
+        assert actual_findings(path) == expected
+
+    @pytest.mark.parametrize("name", ["div_ok.py", "rng_ok.py", "mut_ok.py"])
+    def test_good_fixtures_are_clean(self, name):
+        assert actual_findings(FIXTURES / name) == set()
+
+    def test_work_miss_is_advisory(self):
+        findings = lint_file(FIXTURES / "work_miss.py")
+        assert findings
+        assert all(f.severity is Severity.ADVICE for f in findings)
+
+    def test_error_rules_are_errors(self):
+        for name in ("div_bad.py", "rng_bad.py", "mut_bad.py"):
+            for finding in lint_file(FIXTURES / name):
+                assert finding.severity is Severity.ERROR
+
+
+class TestNoqa:
+    def test_suppressions(self):
+        findings = lint_file(FIXTURES / "noqa_cases.py")
+        # Only the wrong-code case survives; everything else is noqa'd.
+        assert [(f.line, f.code) for f in findings] == [(23, "SPMD-DIV")]
+
+    def test_bare_noqa_suppresses_everything(self):
+        source = "def f(world):\n    world.slots[0] = 1  # repro: noqa\n"
+        assert lint_source(source) == []
+
+    def test_code_list_is_case_insensitive(self):
+        source = (
+            "def f(world):\n"
+            "    world.slots[0] = 1  # repro: noqa[mut-shared]\n"
+        )
+        assert lint_source(source) == []
+
+
+class TestEngine:
+    def test_syntax_error_becomes_parse_finding(self):
+        findings = lint_source("def broken(:\n")
+        assert [f.code for f in findings] == ["PARSE"]
+        assert findings[0].severity is Severity.ERROR
+
+    def test_lint_paths_walks_directories(self):
+        findings = lint_paths([FIXTURES])
+        files = {Path(f.path).name for f in findings}
+        assert {"div_bad.py", "rng_bad.py", "mut_bad.py", "work_miss.py"} <= files
+        assert "div_ok.py" not in files
+
+    def test_select_filters_codes(self):
+        findings = lint_paths([FIXTURES], select=["MUT-SHARED"])
+        assert findings and all(f.code == "MUT-SHARED" for f in findings)
+
+    def test_missing_path_is_exit_2(self):
+        stream = io.StringIO()
+        assert run_lint(["does/not/exist.py"], stream=stream) == 2
+
+    def test_unknown_select_code_is_exit_2_not_silently_clean(self):
+        stream = io.StringIO()
+        assert run_lint([FIXTURES], select=["TYPO-CODE"], stream=stream) == 2
+        assert "unknown rule code" in stream.getvalue()
+        with pytest.raises(ValueError, match="TYPO-CODE"):
+            lint_paths([FIXTURES], select=["TYPO-CODE"])
+
+    def test_every_finding_code_is_registered(self):
+        for finding in lint_paths([FIXTURES]):
+            assert finding.code in RULES
+
+
+class TestCli:
+    def test_module_cli_fails_on_corpus_with_locations(self, capsys):
+        code = analysis_main(["lint", str(FIXTURES)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "SPMD-DIV" in out and "RNG-GLOBAL" in out and "MUT-SHARED" in out
+        assert "div_bad.py:9:" in out  # file:line:col locations
+        assert "error(s)" in out
+
+    def test_module_cli_clean_file_exits_zero(self, capsys):
+        code = analysis_main(["lint", str(FIXTURES / "div_ok.py")])
+        assert code == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_advisory_findings_do_not_fail_the_run(self, capsys):
+        code = analysis_main(["lint", str(FIXTURES / "work_miss.py")])
+        assert code == 0
+        assert "WORK-MISS" in capsys.readouterr().out
+
+    def test_no_advice_hides_advisories(self, capsys):
+        code = analysis_main(["lint", "--no-advice", str(FIXTURES / "work_miss.py")])
+        assert code == 0
+        assert "WORK-MISS" not in capsys.readouterr().out
+
+    def test_fixit_hints(self, capsys):
+        analysis_main(["lint", "--fixit", str(FIXTURES / "mut_bad.py")])
+        assert "fix:" in capsys.readouterr().out
+
+    def test_rules_listing(self, capsys):
+        assert analysis_main(["rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("SPMD-DIV", "RNG-GLOBAL", "MUT-SHARED", "WORK-MISS"):
+            assert code in out
+
+    def test_repro_cli_lint_subcommand(self, capsys):
+        assert cli_main(["lint", str(FIXTURES / "rng_bad.py")]) == 1
+        assert "RNG-GLOBAL" in capsys.readouterr().out
+        assert cli_main(["lint", str(FIXTURES / "rng_ok.py")]) == 0

@@ -1,0 +1,21 @@
+"""CI gate: the repo's own source tree must lint clean.
+
+Runs the SPMD linter over ``src/`` and asserts zero non-advisory
+findings, so a divergent collective or a global-RNG call can never land
+unnoticed.  Advisory findings (WORK-MISS) are reported but tolerated.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import Severity, lint_paths
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def test_source_tree_has_no_lint_errors():
+    assert SRC.is_dir(), f"src/ not found at {SRC}"
+    errors = [f for f in lint_paths([SRC]) if f.severity is Severity.ERROR]
+    detail = "\n".join(f.format() for f in errors)
+    assert not errors, f"repro.analysis found lint errors in src/:\n{detail}"

@@ -179,3 +179,22 @@ class TestPayloadBytes:
     def test_containers(self):
         assert payload_bytes([np.zeros(2), 1]) == 24
         assert payload_bytes({"a": 1}) == 9
+
+    def test_strings_count_utf8_bytes(self):
+        assert payload_bytes("") == 0
+        assert payload_bytes("abc") == 3
+        assert payload_bytes("héllo") == 6  # é is two bytes in UTF-8
+        assert payload_bytes("€") == 3
+
+    def test_bytes_and_bytearray(self):
+        assert payload_bytes(b"abc") == 3
+        assert payload_bytes(bytearray(5)) == 5
+
+    def test_bools_are_one_byte_not_eight(self):
+        assert payload_bytes(True) == 1
+        assert payload_bytes(False) == 1
+        assert payload_bytes(np.True_) == 1
+
+    def test_bool_none_consistency_in_containers(self):
+        assert payload_bytes([True, None, False]) == 2
+        assert payload_bytes({"k": None}) == 1

@@ -1,0 +1,209 @@
+"""Tests for the runtime collective-order sanitizer and deadlock watchdog.
+
+Three violation programs, each caught with rank attribution:
+
+* collective-order divergence  -> ``CollectiveMismatchError``
+* partial-rank collective      -> ``CollectiveMismatchError``
+* direct ``World.slots`` write -> ``SharedStateMutationError``
+
+plus the ``run_spmd`` barrier-timeout watchdog (``SpmdDeadlockError``)
+and the transparency guarantee: sanitizing never changes results or
+simulated clocks of a correct program.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dist import (
+    CollectiveMismatchError,
+    SharedStateMutationError,
+    SimComm,
+    SpmdDeadlockError,
+    World,
+    run_spmd,
+)
+
+
+# ---------------------------------------------------------------------------
+# violation programs (module-level so tracebacks carry useful names)
+# ---------------------------------------------------------------------------
+
+def _order_divergence(comm):
+    # Rank 0 runs barrier-then-allgather; everyone else the reverse.
+    if comm.rank == 0:  # repro: noqa[SPMD-DIV] fixture: deliberately divergent
+        comm.barrier()
+        comm.allgather(comm.rank)
+    else:
+        comm.allgather(comm.rank)
+        comm.barrier()
+
+
+def _partial_collective(comm):
+    if comm.rank == 0:  # repro: noqa[SPMD-DIV] fixture: deliberately divergent
+        comm.barrier()
+    comm.allgather(comm.rank)
+
+
+def _direct_mutation(comm):
+    comm.world.slots[comm.rank] = "oops"  # repro: noqa[MUT-SHARED] fixture
+    comm.barrier()
+
+
+def _early_return(comm):
+    if comm.rank == 0:  # repro: noqa[SPMD-DIV] fixture: deliberate deadlock
+        return None
+    comm.allgather(comm.rank)
+    return comm.barrier()
+
+
+def _correct_program(comm, values):
+    comm.work(10.0 * (comm.rank + 1))
+    gathered = comm.allgather(values[comm.rank])
+    total = comm.allreduce(values[comm.rank])
+    comm.barrier()
+    return gathered, total
+
+
+class TestCollectiveOrderSanitizer:
+    def test_order_divergence_is_caught_with_rank_attribution(self):
+        with pytest.raises(CollectiveMismatchError) as exc:
+            run_spmd(4, _order_divergence, sanitize=True)
+        assert exc.value.divergent_ranks == (0,)
+        msg = str(exc.value)
+        assert "rank 0" in msg
+        assert "barrier" in msg and "allgather" in msg
+
+    def test_partial_rank_collective_is_caught(self):
+        with pytest.raises(CollectiveMismatchError) as exc:
+            run_spmd(4, _partial_collective, sanitize=True)
+        assert exc.value.divergent_ranks == (0,)
+
+    def test_callsites_appear_in_the_report(self):
+        with pytest.raises(CollectiveMismatchError) as exc:
+            run_spmd(4, _order_divergence, sanitize=True)
+        assert "test_sanitizer.py" in str(exc.value)
+
+    def test_divergence_not_caught_when_sanitizer_off(self):
+        # Same op *count* on every rank, so the lock-step barriers still
+        # line up and the bug sails through silently — the motivation for
+        # the sanitizer.
+        run_spmd(4, _order_divergence, sanitize=False, timeout=30.0)
+
+
+class TestSharedStateGuard:
+    def test_direct_slot_write_is_caught_with_rank(self):
+        with pytest.raises(SharedStateMutationError) as exc:
+            run_spmd(2, _direct_mutation, sanitize=True)
+        msg = str(exc.value)
+        assert "World.slots" in msg
+        assert "rank 0" in msg or "rank 1" in msg
+        assert "MUT-SHARED" in msg
+
+    def test_direct_write_allowed_when_sanitizer_off(self):
+        run_spmd(2, _direct_mutation, sanitize=False)
+
+    def test_sim_time_view_is_read_only_under_sanitize(self):
+        world = World(2, sanitize=True)
+        with pytest.raises(ValueError):
+            world.sim_time[0] = 1.0
+
+    def test_collectives_still_work_through_the_guard(self):
+        # SimComm's own slot writes must pass the guard transparently.
+        out = run_spmd(3, lambda comm: comm.allgather(comm.rank), sanitize=True)
+        assert out.per_rank == [[0, 1, 2]] * 3
+
+
+class TestTransparency:
+    def test_same_results_and_clocks_with_and_without_sanitizer(self):
+        values = [3.0, 1.0, 4.0, 1.5]
+        plain = run_spmd(4, _correct_program, values, sanitize=False)
+        checked = run_spmd(4, _correct_program, values, sanitize=True)
+        assert plain.per_rank == checked.per_rank
+        assert np.array_equal(plain.sim_times, checked.sim_times)
+
+    def test_full_pipeline_runs_under_sanitizer(self):
+        from repro.core import fast_config
+        from repro.dist import parallel_partition
+        from repro.generators import planted_partition
+        from repro.graph import check_partition
+
+        graph, _truth = planted_partition(2, 60, p_in=0.2, p_out=0.01, seed=7)
+        config = fast_config(k=2, social=True, sanitize=True)
+        result = parallel_partition(graph, config, num_pes=2, seed=1)
+        check_partition(graph, result.partition, 2, epsilon=0.03)
+
+
+class TestEnvResolution:
+    def test_env_var_enables_sanitizer(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        with pytest.raises(SharedStateMutationError):
+            run_spmd(2, _direct_mutation)
+
+    def test_explicit_arg_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        run_spmd(2, _direct_mutation, sanitize=False)
+
+    def test_env_off_values(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "0")
+        run_spmd(2, _direct_mutation)
+
+
+class TestDeadlockWatchdog:
+    def test_early_return_raises_deadlock_with_stuck_ranks(self):
+        with pytest.raises(SpmdDeadlockError) as exc:
+            run_spmd(3, _early_return, timeout=1.0)
+        assert exc.value.stuck_ranks == (1, 2)
+        msg = str(exc.value)
+        assert "rank" in msg
+        assert "allgather" in msg  # last collective each stuck rank entered
+
+    def test_env_timeout(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SPMD_TIMEOUT", "0.5")
+        with pytest.raises(SpmdDeadlockError):
+            run_spmd(3, _early_return)
+
+    def test_timeout_zero_disables_watchdog(self):
+        # A correct program with the watchdog disabled completes normally.
+        out = run_spmd(2, lambda comm: comm.allreduce(1), timeout=0)
+        assert out.per_rank == [2, 2]
+
+    def test_program_errors_win_over_deadlock_report(self):
+        def _rank0_raises(comm):
+            if comm.rank == 0:  # repro: noqa[SPMD-DIV] fixture
+                raise ValueError("boom")
+            comm.barrier()
+
+        with pytest.raises(ValueError, match="boom"):
+            run_spmd(2, _rank0_raises, timeout=1.0)
+
+
+class TestWorldLocalAttribution:
+    def test_mutation_error_names_the_offending_rank(self):
+        seen = []
+
+        def _probe(comm):
+            try:
+                comm.world.slots[0] = 1  # repro: noqa[MUT-SHARED] fixture
+            except SharedStateMutationError as err:
+                seen.append((comm.rank, str(err)))
+            comm.barrier()
+
+        run_spmd(3, _probe, sanitize=True)
+        assert len(seen) == 3
+        for rank, msg in seen:
+            assert f"rank {rank} " in msg
+
+
+def _make_comm(sanitize=False):
+    world = World(1, sanitize=sanitize)
+    return SimComm(world, 0)
+
+
+class TestSingleRank:
+    def test_sanitized_single_rank_collectives(self):
+        comm = _make_comm(sanitize=True)
+        assert comm.allgather(5) == [5]
+        assert comm.allreduce(5) == 5
+        comm.barrier()
