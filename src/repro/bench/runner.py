@@ -36,16 +36,40 @@ __all__ = [
 
 
 def bench_seeds(default: int = 3) -> int:
-    """Repetitions per configuration (env-overridable)."""
-    return int(os.environ.get("REPRO_BENCH_SEEDS", default))
+    """Repetitions per configuration (env-overridable).
+
+    Empty or non-numeric ``REPRO_BENCH_SEEDS`` falls back to the default;
+    a parseable but non-positive count is rejected outright (silently
+    running zero repetitions would fabricate empty table rows).
+    """
+    if default < 1:
+        raise ValueError(f"seed count must be >= 1, got {default}")
+    raw = os.environ.get("REPRO_BENCH_SEEDS", "").strip()
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        return default
+    if value < 1:
+        raise ValueError(
+            f"REPRO_BENCH_SEEDS must be >= 1, got {value!r}"
+        )
+    return value
 
 
 def geometric_mean(values: list[float]) -> float:
-    """Geometric mean (the paper's cross-instance average)."""
-    vals = [v for v in values if v > 0]
-    if not vals:
+    """Geometric mean (the paper's cross-instance average).
+
+    Any zero value makes the product — and hence the mean — zero; it is
+    reported as such rather than silently dropped (dropping a zero cut
+    would inflate the cross-instance average).
+    """
+    if not values:
         return 0.0
-    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+    if any(v <= 0 for v in values):
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
 
 
 def memory_scale_for(name: str, graph: Graph, working_set_factor: float = 1.0) -> float:

@@ -78,6 +78,11 @@ class PartitionConfig:
     #: wall-clock watchdog for one parallel run, in seconds (``None``
     #: defers to ``REPRO_SPMD_TIMEOUT``, then 60 s; <= 0 disables)
     spmd_timeout: float | None = None
+    #: label-propagation engine selector: 0 = node-at-a-time scan, >= 1 =
+    #: chunked kernels with that chunk size (1 is bit-identical to the
+    #: scan); ``None`` defers to ``REPRO_LP_CHUNK``, then the kernel
+    #: default (see repro.core.lp_kernels)
+    lp_chunk_size: int | None = None
     name: str = "fast"
 
     def __post_init__(self) -> None:

@@ -26,12 +26,17 @@ Shared semantics, exactly as the paper specifies:
   cluster stays inside one block of the constraint (cut edges of the
   input partition are then never contracted — Section IV-D).
 
-The inner loop is deliberately written over plain Python lists: for the
-node-at-a-time sequential semantics the algorithm requires, list indexing
-beats NumPy scalar indexing by a large factor (see the hpc-parallel
-optimisation guide: profile first, vectorise what can be vectorised —
-orderings, initialisation — and keep the irreducibly sequential scan
-lean).
+Two engines implement the scan, selected by ``chunk_size`` (see
+:mod:`repro.core.lp_kernels`): the legacy node-at-a-time loop over plain
+Python lists (``chunk_size=0``; for strictly sequential semantics list
+indexing beats NumPy scalar indexing by a large factor), and the
+vectorised chunked kernels, which evaluate ``chunk_size`` nodes against a
+chunk-start snapshot and commit eligible moves between chunks
+(``chunk_size=1`` is bit-identical to the scan; larger chunks trade
+phase-internal staleness for throughput).  Chunking here is opt-in —
+with no explicit ``chunk_size`` and no ``REPRO_LP_CHUNK`` the scan
+engine runs, keeping seeded sequential quality baselines intact; the
+distributed engine in :mod:`repro.dist.dist_lp` defaults to chunked.
 """
 
 from __future__ import annotations
@@ -41,6 +46,17 @@ import random as _pyrandom
 import numpy as np
 
 from ..graph.csr import Graph
+from .lp_kernels import (
+    SCAN_ENGINE,
+    aggregate_candidates,
+    capped_inflow_mask,
+    chunk_ranges,
+    effective_chunk,
+    make_tie_breaker,
+    pick_targets,
+    plan_chunk,
+    resolve_chunk_size,
+)
 
 __all__ = [
     "size_constrained_label_propagation",
@@ -99,6 +115,7 @@ def size_constrained_label_propagation(
     ordering: str = "degree",
     refine: bool = False,
     constraint: np.ndarray | None = None,
+    chunk_size: int | None = None,
 ) -> np.ndarray:
     """Run the size-constrained label-propagation engine.
 
@@ -114,6 +131,10 @@ def size_constrained_label_propagation(
     constraint:
         Optional partition; moves are restricted to neighbours in the
         same constraint block (V-cycle rule).
+    chunk_size:
+        Engine selector: ``0`` = node-at-a-time scan, ``>= 1`` = chunked
+        kernels (``1`` is bit-identical to the scan); ``None`` defers to
+        ``REPRO_LP_CHUNK`` and the built-in default.
 
     Returns
     -------
@@ -129,6 +150,20 @@ def size_constrained_label_propagation(
         label_list = labels.tolist()
     if n == 0:
         return np.asarray(label_list, dtype=np.int64)
+
+    chunk = resolve_chunk_size(chunk_size, default=SCAN_ENGINE)
+    if chunk != 0:
+        return _chunked_lp(
+            graph,
+            np.asarray(label_list, dtype=np.int64),
+            int(max_block_weight),
+            iterations,
+            rng,
+            ordering,
+            refine,
+            constraint,
+            chunk,
+        )
 
     num_labels = (max(label_list) + 1) if label_list else 0
     weight_list = [0] * num_labels
@@ -218,6 +253,123 @@ def size_constrained_label_propagation(
     return np.asarray(label_list, dtype=np.int64)
 
 
+def _chunked_lp(
+    graph: Graph,
+    labels: np.ndarray,
+    bound: int,
+    iterations: int,
+    rng: np.random.Generator,
+    ordering: str,
+    refine: bool,
+    constraint: np.ndarray | None,
+    chunk: int,
+) -> np.ndarray:
+    """Chunked-kernel variant of the sequential engine (same semantics).
+
+    Eligibility is evaluated per chunk against a chunk-start snapshot of
+    the block weights; :func:`capped_inflow_mask` then cancels the tail
+    of each chunk's moves into any block they would overload, so the
+    bound holds exactly despite the snapshot.  At ``chunk == 1`` the
+    snapshot is always live and every branch matches the scan bit for
+    bit, including the tie-RNG stream.
+    """
+    labels = labels.copy()
+    n = graph.num_nodes
+    num_labels = int(labels.max()) + 1
+    weight = np.bincount(labels, weights=graph.vwgt, minlength=num_labels).astype(
+        np.int64
+    )
+    vwgt = np.asarray(graph.vwgt, dtype=np.int64)
+    xadj, adjncy, adjwgt = graph.xadj, graph.adjncy, graph.adjwgt
+    degrees = graph.degrees
+    constraint_arr = (
+        None if constraint is None else np.asarray(constraint, dtype=np.int64)
+    )
+    tie_rng = make_tie_breaker(int(rng.integers(0, 2**63 - 1)), chunk)
+    sentinel = np.iinfo(np.int64).max
+
+    # Degree order is phase-invariant (and consumes no randomness), so
+    # the per-chunk arc structure can be planned once and re-aggregated
+    # every phase; random order needs fresh plans per phase.
+    plan_cache: dict[tuple[int, int], object] = {}
+
+    def chunk_plan(nodes, lo, hi):
+        if ordering != "degree":
+            return plan_chunk(nodes, xadj, adjncy, adjwgt, constraint_arr)
+        key = (lo, hi)
+        plan = plan_cache.get(key)
+        if plan is None:
+            plan = plan_cache[key] = plan_chunk(
+                nodes, xadj, adjncy, adjwgt, constraint_arr
+            )
+        return plan
+
+    for _ in range(max(0, iterations)):
+        order = visit_order(graph, ordering, rng)
+        if not refine:
+            # Isolated nodes never move in clustering mode; drop them so
+            # chunks are all-kernel work.
+            order = order[degrees[order] > 0]
+        moved = 0
+        for lo, hi in chunk_ranges(order.size, effective_chunk(chunk, order.size)):
+            nodes = order[lo:hi]
+            if refine:
+                active = nodes[degrees[nodes] > 0]
+            else:
+                active = nodes
+            if active.size:
+                own = labels[active]
+                c_v = vwgt[active]
+                cands = aggregate_candidates(
+                    chunk_plan(active, lo, hi), labels, num_labels,
+                    exact_order=chunk == 1,
+                )
+                fits = weight[cands.labels] + c_v[cands.node_pos] <= bound
+                if refine:
+                    evicting = weight[own] > bound
+                    eligible = np.where(cands.is_own, ~evicting[cands.node_pos], fits)
+                else:
+                    eligible = cands.is_own | fits
+                choice = pick_targets(cands, eligible, tie_rng)
+                has = choice >= 0
+                target = own.copy()
+                target[has] = cands.labels[choice[has]]
+                moving = np.flatnonzero(target != own)
+                if moving.size:
+                    m_nodes, m_own = active[moving], own[moving]
+                    m_target, m_c = target[moving], c_v[moving]
+                    keep = capped_inflow_mask(
+                        m_target, m_c, weight[m_target],
+                        np.full(m_target.size, bound, dtype=np.int64),
+                    )
+                    m_nodes, m_own = m_nodes[keep], m_own[keep]
+                    m_target, m_c = m_target[keep], m_c[keep]
+                    np.subtract.at(weight, m_own, m_c)
+                    np.add.at(weight, m_target, m_c)
+                    labels[m_nodes] = m_target
+                    moved += int(m_nodes.size)
+            if refine:
+                # Isolated nodes: balance repair against the live weights
+                # (rare; matches the scan's first-minimal choice).
+                for v in nodes[degrees[nodes] == 0].tolist():
+                    own_v = int(labels[v])
+                    if weight[own_v] <= bound:
+                        continue
+                    c = int(vwgt[v])
+                    ok = (weight + c) <= bound
+                    ok[own_v] = False
+                    if not ok.any():
+                        continue
+                    b = int(np.argmin(np.where(ok, weight, sentinel)))
+                    weight[own_v] -= c
+                    weight[b] += c
+                    labels[v] = b
+                    moved += 1
+        if moved == 0:
+            break
+    return labels
+
+
 def label_propagation_clustering(
     graph: Graph,
     max_cluster_weight: int,
@@ -225,6 +377,7 @@ def label_propagation_clustering(
     rng: np.random.Generator,
     ordering: str = "degree",
     constraint: np.ndarray | None = None,
+    chunk_size: int | None = None,
 ) -> np.ndarray:
     """Compute a size-constrained clustering (coarsening use, Section III-A).
 
@@ -241,6 +394,7 @@ def label_propagation_clustering(
         ordering=ordering,
         refine=False,
         constraint=constraint,
+        chunk_size=chunk_size,
     )
 
 
@@ -252,6 +406,7 @@ def label_propagation_refinement(
     rng: np.random.Generator,
     constraint: np.ndarray | None = None,
     band_distance: int | None = None,
+    chunk_size: int | None = None,
 ) -> np.ndarray:
     """Improve a partition with label propagation (refinement use).
 
@@ -260,7 +415,8 @@ def label_propagation_refinement(
     their strongest eligible other block.  ``band_distance`` optionally
     restricts the scan to nodes within that many hops of the boundary
     (PT-Scotch-style band refinement — faster, near-identical quality;
-    see the band-refinement ablation bench).
+    see the band-refinement ablation bench).  Band mode always uses the
+    node-at-a-time engine; ``chunk_size`` applies to the full scan.
     """
     partition = np.asarray(partition, dtype=np.int64)
     if band_distance is None:
@@ -273,6 +429,7 @@ def label_propagation_refinement(
             ordering="random",
             refine=True,
             constraint=constraint,
+            chunk_size=chunk_size,
         )
     # Band mode: same engine and exact global block weights, but only the
     # band nodes are visited — non-band nodes contribute to weights and

@@ -125,12 +125,11 @@ def parallel_contract(
     # ------------------------------------------------------------------
     offset = int(comm.exscan(int(my_ids.size)))
     n_coarse = int(comm.allreduce(int(my_ids.size)))
-    # Answer the remap for the ids each PE asked about.
-    remap_requests, _ = _exchange_by_owner(
-        comm, unique_local, _interval_owner(unique_local, n_global, comm.size)
-    )
+    # Answer the remap for the ids each PE asked about.  Step 1's
+    # exchange already delivered exactly these per-source requests, so
+    # the ``received`` buffers are reused — no second request round.
     responses: list[object] = [None] * comm.size
-    for q, req in enumerate(remap_requests):
+    for q, req in enumerate(received):
         responses[q] = offset + np.searchsorted(my_ids, req) if req.size else req
     answered = comm.alltoall(responses)
     remap = np.empty(unique_local.size, dtype=np.int64)

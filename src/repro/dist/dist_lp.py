@@ -25,6 +25,16 @@ Block-weight bookkeeping follows the paper's two regimes:
 
 Degree-based node ordering is parallelised exactly as in the paper: each
 PE orders its *local* nodes by local degree; refinement uses random order.
+
+Two engines drive the per-PE scan (selected by ``chunk_size``, see
+:mod:`repro.core.lp_kernels`): the legacy node-at-a-time Python scan
+(``chunk_size=0``), and the vectorised chunked kernels, which evaluate a
+chunk of nodes against a chunk-start snapshot of labels and weights and
+apply the bookkeeping between chunks.  ``chunk_size=1`` is bit-identical
+to the scan; larger chunks add phase-internal staleness of the same kind
+the ghost scheme already tolerates across PEs.  Both engines charge the
+same ``comm.work`` units (arcs scanned per phase), so simulated times
+are engine-independent and stay comparable across the bench history.
 """
 
 from __future__ import annotations
@@ -33,6 +43,16 @@ import random as _pyrandom
 
 import numpy as np
 
+from ..core.lp_kernels import (
+    aggregate_candidates,
+    capped_inflow_mask,
+    chunk_ranges,
+    effective_chunk,
+    make_tie_breaker,
+    pick_targets,
+    plan_chunk,
+    resolve_chunk_size,
+)
 from .comm import SimComm
 from .dgraph import DistGraph
 
@@ -62,33 +82,53 @@ def distributed_edge_cut(dgraph: DistGraph, comm: SimComm, labels: np.ndarray) -
 def _exchange_interface_labels(
     dgraph: DistGraph,
     comm: SimComm,
-    label_list: list[int],
-    changed: list[int],
-) -> list[tuple[np.ndarray, np.ndarray]]:
-    """Ship changed interface labels to adjacent PEs; apply received updates.
+    labels: np.ndarray,
+    changed_mask: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Ship changed interface labels to adjacent PEs; validate and locate.
 
-    Returns the list of (ghost indices, new labels) applied, so callers
-    can fold them into whatever weight view they maintain.
+    Returns ``(ghost_idx, values)``: the local ghost slots the received
+    updates belong to and their new labels, so callers can fold them into
+    whatever weight view they maintain.  Every received global id is
+    validated against this PE's ghost table (the same membership test
+    :meth:`DistGraph.to_local` performs) — an id that is not ghosted here
+    raises, naming the sender, instead of silently corrupting a
+    neighbouring ghost slot.
     """
     n_local = dgraph.n_local
-    changed_arr = np.asarray(changed, dtype=np.int64)
     per_dest: list[object] = [None] * comm.size
     for q, nodes in zip(dgraph.send_ranks.tolist(), dgraph.send_nodes):
-        touched = nodes[np.isin(nodes, changed_arr)] if changed_arr.size else nodes[:0]
-        globals_ = touched + dgraph.first
-        values = np.asarray([label_list[v] for v in touched.tolist()], dtype=np.int64)
-        per_dest[q] = (globals_, values)
+        touched = nodes[changed_mask[nodes]]
+        per_dest[q] = (touched + dgraph.first, labels[touched])
     received = comm.alltoall(per_dest)
-    applied: list[tuple[np.ndarray, np.ndarray]] = []
-    for payload in received:
+    idx_parts: list[np.ndarray] = []
+    val_parts: list[np.ndarray] = []
+    for src, payload in enumerate(received):
         if payload is None:
             continue
         globals_, values = payload
         if globals_.size == 0:
             continue
-        ghost_idx = np.searchsorted(dgraph.ghost_global, globals_) + n_local
-        applied.append((ghost_idx, values))
-    return applied
+        idx = np.searchsorted(dgraph.ghost_global, globals_)
+        if dgraph.n_ghost == 0:
+            bad = globals_
+        else:
+            clipped = np.minimum(idx, dgraph.n_ghost - 1)
+            bad = globals_[
+                (idx >= dgraph.n_ghost) | (dgraph.ghost_global[clipped] != globals_)
+            ]
+        if bad.size:
+            raise ValueError(
+                f"rank {comm.rank} received an interface label from rank {src} "
+                f"for global node {int(bad[0])}, which is not ghosted on rank "
+                f"{comm.rank} (inconsistent send lists or a label update for a "
+                "non-interface node)"
+            )
+        idx_parts.append(idx + n_local)
+        val_parts.append(np.asarray(values, dtype=np.int64))
+    if not idx_parts:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    return np.concatenate(idx_parts), np.concatenate(val_parts)
 
 
 def parallel_label_propagation(
@@ -100,48 +140,288 @@ def parallel_label_propagation(
     mode: str = "cluster",
     k: int | None = None,
     constraint: np.ndarray | None = None,
+    chunk_size: int | None = None,
 ) -> np.ndarray:
     """Run parallel SCLP; returns the updated length-``n_total`` label array.
 
     Collective over ``comm``.  ``labels`` must contain consistent ghost
     entries on entry (e.g. global node ids for clustering, or a projected
-    partition refreshed by a halo exchange).
+    partition refreshed by a halo exchange).  ``chunk_size`` selects the
+    scan engine (0), the bit-identical chunked kernels (1), or throughput
+    chunking (>1); ``None`` defers to ``REPRO_LP_CHUNK`` and the default.
     """
     if mode not in ("cluster", "refine"):
         raise ValueError(f"unknown mode {mode!r}")
     refine = mode == "refine"
     if refine and k is None:
         raise ValueError("refinement mode requires k")
+    chunk = resolve_chunk_size(chunk_size)
 
     labels = np.asarray(labels, dtype=np.int64).copy()
     n_local = dgraph.n_local
     bound = int(max_block_weight)
+    interface = dgraph.interface_mask()
+    tie_seed = int(comm.rng.integers(0, 2**63 - 1))
 
-    # Python-list mirrors for the scan (list indexing beats numpy scalars).
+    # Node weights including ghosts (one halo exchange).
+    vwgt_all = np.zeros(dgraph.n_total, dtype=np.int64)
+    vwgt_all[:n_local] = dgraph.vwgt
+    dgraph.halo_exchange(comm, vwgt_all)
+
+    constraint_arr = (
+        None if constraint is None else np.asarray(constraint, dtype=np.int64)
+    )
+
+    if chunk == 0:
+        if refine:
+            return _scan_refine_phases(
+                dgraph, comm, labels, vwgt_all, constraint_arr, interface,
+                tie_seed, bound, int(k), iterations,
+            )
+        return _scan_cluster_phases(
+            dgraph, comm, labels, vwgt_all, constraint_arr, interface,
+            tie_seed, bound, iterations,
+        )
+    if refine:
+        return _chunked_refine_phases(
+            dgraph, comm, labels, vwgt_all, constraint_arr, interface,
+            tie_seed, bound, int(k), iterations, chunk,
+        )
+    return _chunked_cluster_phases(
+        dgraph, comm, labels, vwgt_all, constraint_arr, interface,
+        tie_seed, bound, iterations, chunk,
+    )
+
+
+# ----------------------------------------------------------------------
+# Chunked engines (vectorised kernels, see repro.core.lp_kernels)
+# ----------------------------------------------------------------------
+
+def _chunked_cluster_phases(
+    dgraph: DistGraph,
+    comm: SimComm,
+    labels: np.ndarray,
+    vwgt_all: np.ndarray,
+    constraint: np.ndarray | None,
+    interface: np.ndarray,
+    tie_seed: int,
+    bound: int,
+    iterations: int,
+    chunk: int,
+) -> np.ndarray:
+    """Clustering regime with chunked kernels (localized weight view).
+
+    The per-PE weight view is a dense array over the cluster-id space
+    (cluster ids are global fine node ids): entries of clusters never
+    seen locally stay 0, exactly like the missing keys of the scan
+    engine's dict view.
+    """
+    n_local = dgraph.n_local
+    xadj, adjncy, adjwgt = dgraph.xadj, dgraph.adjncy, dgraph.adjwgt
+    label_space = max(int(dgraph.n_global), int(labels.max(initial=0)) + 1)
+    weight = np.zeros(label_space, dtype=np.int64)
+    np.add.at(weight, labels, vwgt_all)
+    tie_rng = make_tie_breaker(tie_seed, chunk)
+
+    degrees = dgraph.degrees
+    order = np.argsort(degrees, kind="stable")
+    scan_order = order[degrees[order] > 0]
+
+    phase_chunk = effective_chunk(chunk, scan_order.size)
+    # The degree order is phase-invariant, so the arc structure of every
+    # chunk is too: plan once, re-aggregate each phase.
+    plans = [
+        plan_chunk(scan_order[lo:hi], xadj, adjncy, adjwgt, constraint)
+        for lo, hi in chunk_ranges(scan_order.size, phase_chunk)
+    ]
+    for _phase in range(max(0, iterations)):
+        changed_mask = np.zeros(n_local, dtype=bool)
+        arcs_scanned = 0
+        for plan in plans:
+            nodes = plan.nodes
+            cands = aggregate_candidates(
+                plan, labels, label_space, exact_order=chunk == 1
+            )
+            arcs_scanned += cands.arcs_scanned
+            own = labels[nodes]
+            c_v = vwgt_all[nodes]
+            fits = weight[cands.labels] + c_v[cands.node_pos] <= bound
+            eligible = cands.is_own | fits
+            choice = pick_targets(cands, eligible, tie_rng)
+            has = choice >= 0
+            target = own.copy()
+            target[has] = cands.labels[choice[has]]
+            moving = np.flatnonzero(target != own)
+            if moving.size == 0:
+                continue
+            m_nodes, m_own = nodes[moving], own[moving]
+            m_target, m_c = target[moving], c_v[moving]
+            keep = capped_inflow_mask(
+                m_target, m_c, weight[m_target], np.full(m_target.size, bound)
+            )
+            m_nodes, m_own = m_nodes[keep], m_own[keep]
+            m_target, m_c = m_target[keep], m_c[keep]
+            np.subtract.at(weight, m_own, m_c)
+            np.add.at(weight, m_target, m_c)
+            labels[m_nodes] = m_target
+            changed_mask[m_nodes[interface[m_nodes]]] = True
+        comm.work(arcs_scanned)
+
+        ghost_idx, ghost_vals = _exchange_interface_labels(
+            dgraph, comm, labels, changed_mask
+        )
+        if ghost_idx.size:
+            old = labels[ghost_idx]
+            diff = old != ghost_vals
+            if diff.any():
+                g_w = vwgt_all[ghost_idx[diff]]
+                np.subtract.at(weight, old[diff], g_w)
+                np.add.at(weight, ghost_vals[diff], g_w)
+                labels[ghost_idx[diff]] = ghost_vals[diff]
+
+        if int(comm.allreduce(int(changed_mask.sum()))) == 0:
+            break
+    return labels
+
+
+def _chunked_refine_phases(
+    dgraph: DistGraph,
+    comm: SimComm,
+    labels: np.ndarray,
+    vwgt_all: np.ndarray,
+    constraint: np.ndarray | None,
+    interface: np.ndarray,
+    tie_seed: int,
+    bound: int,
+    k: int,
+    iterations: int,
+    chunk: int,
+) -> np.ndarray:
+    """Refinement regime with chunked kernels (exact weights, 1/p shares).
+
+    The inflow caps are enforced twice: per candidate against the
+    chunk-start snapshot (eligibility), and per committed move against
+    the chunk's own cumulative inflow (``capped_inflow_mask``), so a PE's
+    net inflow into any block never exceeds its 1/p share — the balance
+    guarantee survives chunk-internal staleness.
+    """
+    n_local = dgraph.n_local
+    size = comm.size
+    xadj, adjncy, adjwgt = dgraph.xadj, dgraph.adjncy, dgraph.adjwgt
+    degrees = dgraph.degrees
+    tie_rng = make_tie_breaker(tie_seed, chunk)
+
+    exact = exact_block_weights(dgraph, comm, labels, k)
+
+    for _phase in range(max(0, iterations)):
+        inflow_budget = np.maximum(0.0, (bound - exact) / size)
+        evict_budget = np.maximum(0.0, (exact - bound) / size)
+        local_net = np.zeros(k, dtype=np.int64)
+        local_out = np.zeros(k, dtype=np.int64)
+        changed_mask = np.zeros(n_local, dtype=bool)
+        arcs_scanned = 0
+
+        order = comm.rng.permutation(n_local)
+        for lo, hi in chunk_ranges(n_local, effective_chunk(chunk, n_local)):
+            nodes = order[lo:hi]
+            node_deg = degrees[nodes]
+            active = nodes[node_deg > 0]
+            if active.size:
+                own = labels[active]
+                c_v = vwgt_all[active]
+                evicting = (exact[own] > bound) & (local_out[own] < evict_budget[own])
+                plan = plan_chunk(active, xadj, adjncy, adjwgt, constraint)
+                cands = aggregate_candidates(
+                    plan, labels, k, exact_order=chunk == 1
+                )
+                arcs_scanned += cands.arcs_scanned
+                fits = (
+                    local_net[cands.labels] + c_v[cands.node_pos]
+                    <= inflow_budget[cands.labels]
+                )
+                eligible = np.where(cands.is_own, ~evicting[cands.node_pos], fits)
+                choice = pick_targets(cands, eligible, tie_rng)
+                has = choice >= 0
+                target = own.copy()
+                target[has] = cands.labels[choice[has]]
+                moving = np.flatnonzero(target != own)
+                if moving.size:
+                    m_nodes, m_own = active[moving], own[moving]
+                    m_target, m_c = target[moving], c_v[moving]
+                    m_evict = evicting[moving]
+                    keep = capped_inflow_mask(
+                        m_target, m_c, local_net[m_target], inflow_budget[m_target]
+                    )
+                    m_nodes, m_own = m_nodes[keep], m_own[keep]
+                    m_target, m_c = m_target[keep], m_c[keep]
+                    m_evict = m_evict[keep]
+                    np.add.at(local_net, m_target, m_c)
+                    np.subtract.at(local_net, m_own, m_c)
+                    np.add.at(local_out, m_own[m_evict], m_c[m_evict])
+                    labels[m_nodes] = m_target
+                    changed_mask[m_nodes[interface[m_nodes]]] = True
+            # Isolated nodes: balance repair within the eviction budget,
+            # node-at-a-time against the live views (rare, O(k) each).
+            for v in nodes[node_deg == 0].tolist():
+                own_v = int(labels[v])
+                if exact[own_v] <= bound or local_out[own_v] >= evict_budget[own_v]:
+                    continue
+                c = int(vwgt_all[v])
+                eligible_blocks = (local_net + c) <= inflow_budget
+                eligible_blocks[own_v] = False
+                if not eligible_blocks.any():
+                    continue
+                load = np.where(
+                    eligible_blocks, exact + local_net, np.iinfo(np.int64).max
+                )
+                b = int(np.argmin(load))
+                local_net[own_v] -= c
+                local_net[b] += c
+                local_out[own_v] += c
+                labels[v] = b
+                if interface[v]:
+                    changed_mask[v] = True
+        comm.work(arcs_scanned)
+
+        ghost_idx, ghost_vals = _exchange_interface_labels(
+            dgraph, comm, labels, changed_mask
+        )
+        if ghost_idx.size:
+            labels[ghost_idx] = ghost_vals
+
+        # Restore exact weights with one allreduce (Section IV-B).
+        exact = exact_block_weights(dgraph, comm, labels, k)
+
+        if int(comm.allreduce(int(changed_mask.sum()))) == 0:
+            break
+    return labels
+
+
+# ----------------------------------------------------------------------
+# Legacy scan engine (node-at-a-time, Python lists)
+# ----------------------------------------------------------------------
+
+def _scan_cluster_phases(
+    dgraph: DistGraph,
+    comm: SimComm,
+    labels: np.ndarray,
+    vwgt_all_arr: np.ndarray,
+    constraint: np.ndarray | None,
+    interface: np.ndarray,
+    tie_seed: int,
+    bound: int,
+    iterations: int,
+) -> np.ndarray:
+    """Clustering regime, node-at-a-time (Section IV-B, coarsening)."""
+    n_local = dgraph.n_local
     xadj = dgraph.xadj.tolist()
     adjncy = dgraph.adjncy.tolist()
     adjwgt = dgraph.adjwgt.tolist()
     label_list = labels.tolist()
-    constraint_list = None if constraint is None else np.asarray(constraint).tolist()
-    interface = dgraph.interface_mask()
-    tie_rng = _pyrandom.Random(int(comm.rng.integers(0, 2**63 - 1)))
+    constraint_list = None if constraint is None else constraint.tolist()
+    vwgt_all = vwgt_all_arr.tolist()
+    tie_rng = _pyrandom.Random(tie_seed)
 
-    # Node weights including ghosts (one halo exchange).
-    ghost_vwgt = np.zeros(dgraph.n_total, dtype=np.int64)
-    ghost_vwgt[:n_local] = dgraph.vwgt
-    dgraph.halo_exchange(comm, ghost_vwgt)
-    vwgt_all = ghost_vwgt.tolist()
-
-    if refine:
-        labels = _refine_phases(
-            dgraph, comm, label_list, xadj, adjncy, adjwgt, vwgt_all,
-            constraint_list, interface, tie_rng, bound, int(k), iterations,
-        )
-        return labels
-
-    # ------------------------------------------------------------------
-    # Clustering regime: localized weight view (Section IV-B, coarsening)
-    # ------------------------------------------------------------------
     weight_view: dict[int, int] = {}
     for lid in range(dgraph.n_total):
         lab = label_list[lid]
@@ -194,16 +474,20 @@ def parallel_label_propagation(
                     changed.append(v)
         comm.work(arcs_scanned)
 
-        applied = _exchange_interface_labels(dgraph, comm, label_list, changed)
-        for ghost_idx, values in applied:
-            for gi, new_lab in zip(ghost_idx.tolist(), values.tolist()):
-                old = label_list[gi]
-                if old == new_lab:
-                    continue
-                w = vwgt_all[gi]
-                weight_view[old] = weight_view.get(old, 0) - w
-                weight_view[new_lab] = weight_view.get(new_lab, 0) + w
-                label_list[gi] = new_lab
+        changed_mask = np.zeros(n_local, dtype=bool)
+        changed_mask[changed] = True
+        labels_arr = np.asarray(label_list, dtype=np.int64)
+        ghost_idx, ghost_vals = _exchange_interface_labels(
+            dgraph, comm, labels_arr, changed_mask
+        )
+        for gi, new_lab in zip(ghost_idx.tolist(), ghost_vals.tolist()):
+            old = label_list[gi]
+            if old == new_lab:
+                continue
+            w = vwgt_all[gi]
+            weight_view[old] = weight_view.get(old, 0) - w
+            weight_view[new_lab] = weight_view.get(new_lab, 0) + w
+            label_list[gi] = new_lab
 
         if int(comm.allreduce(len(changed))) == 0:
             break
@@ -211,17 +495,14 @@ def parallel_label_propagation(
     return np.asarray(label_list, dtype=np.int64)
 
 
-def _refine_phases(
+def _scan_refine_phases(
     dgraph: DistGraph,
     comm: SimComm,
-    label_list: list[int],
-    xadj: list[int],
-    adjncy: list[int],
-    adjwgt: list[int],
-    vwgt_all: list[int],
-    constraint_list: list[int] | None,
+    labels: np.ndarray,
+    vwgt_all_arr: np.ndarray,
+    constraint: np.ndarray | None,
     interface: np.ndarray,
-    tie_rng: "_pyrandom.Random",
+    tie_seed: int,
     bound: int,
     k: int,
     iterations: int,
@@ -229,6 +510,13 @@ def _refine_phases(
     """Refinement regime: exact weights per phase, per-PE budget shares."""
     n_local = dgraph.n_local
     size = comm.size
+    xadj = dgraph.xadj.tolist()
+    adjncy = dgraph.adjncy.tolist()
+    adjwgt = dgraph.adjwgt.tolist()
+    label_list = labels.tolist()
+    constraint_list = None if constraint is None else constraint.tolist()
+    vwgt_all = vwgt_all_arr.tolist()
+    tie_rng = _pyrandom.Random(tie_seed)
 
     exact = exact_block_weights(
         dgraph, comm, np.asarray(label_list, dtype=np.int64), k
@@ -310,10 +598,14 @@ def _refine_phases(
                     changed.append(v)
         comm.work(arcs_scanned)
 
-        applied = _exchange_interface_labels(dgraph, comm, label_list, changed)
-        for ghost_idx, values in applied:
-            for gi, new_lab in zip(ghost_idx.tolist(), values.tolist()):
-                label_list[gi] = new_lab
+        changed_mask = np.zeros(n_local, dtype=bool)
+        changed_mask[changed] = True
+        labels_arr = np.asarray(label_list, dtype=np.int64)
+        ghost_idx, ghost_vals = _exchange_interface_labels(
+            dgraph, comm, labels_arr, changed_mask
+        )
+        for gi, new_lab in zip(ghost_idx.tolist(), ghost_vals.tolist()):
+            label_list[gi] = new_lab
 
         # Restore exact weights with one allreduce (Section IV-B).
         exact = exact_block_weights(

@@ -166,6 +166,7 @@ def parhip_program(
                 config.coarsening_iterations,
                 mode="cluster",
                 constraint=current_constraint,
+                chunk_size=config.lp_chunk_size,
             )
             contraction = parallel_contract(
                 current,
@@ -259,6 +260,7 @@ def parhip_program(
                 config.refinement_iterations,
                 mode="refine",
                 k=k,
+                chunk_size=config.lp_chunk_size,
             )
             partition_local = labels[: fine.n_local]
             if budget is not None and level_charges:

@@ -24,13 +24,25 @@ class TestAggregation:
     def test_geometric_mean(self):
         assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
         assert geometric_mean([]) == 0.0
-        assert geometric_mean([0.0, 2.0]) == pytest.approx(2.0)  # zeros skipped
+        assert geometric_mean([0.0, 2.0]) == 0.0  # a zero zeroes the product
 
     def test_bench_seeds_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_BENCH_SEEDS", "7")
         assert bench_seeds() == 7
         monkeypatch.delenv("REPRO_BENCH_SEEDS")
         assert bench_seeds(5) == 5
+
+    def test_bench_seeds_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SEEDS", "")
+        assert bench_seeds(5) == 5  # empty -> default, no crash
+        monkeypatch.setenv("REPRO_BENCH_SEEDS", "many")
+        assert bench_seeds(5) == 5  # unparseable -> default
+        monkeypatch.setenv("REPRO_BENCH_SEEDS", "0")
+        with pytest.raises(ValueError, match="must be >= 1"):
+            bench_seeds()
+        monkeypatch.setenv("REPRO_BENCH_SEEDS", "-3")
+        with pytest.raises(ValueError, match="must be >= 1"):
+            bench_seeds()
 
     def test_memory_scale(self):
         graph = load_instance("amazon")

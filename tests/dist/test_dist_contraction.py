@@ -131,6 +131,36 @@ class TestParallelContract:
         assert coarse_constraint.tolist() == [0] * 10 + [1] * 10
 
 
+class TestCommRounds:
+    @pytest.mark.parametrize("size", [2, 4])
+    def test_one_request_exchange_per_level(self, size):
+        """One contraction level is exactly 7 collectives: the *single*
+        request alltoall (step 1's buffers answer step 2 — no re-ship of
+        ``unique_local``), exscan, allreduce, the response alltoall, the
+        ghost-map halo exchange, and the arc and node-weight shuffles."""
+        graph = rgg(9, seed=0)
+        clustering = np.random.default_rng(3).integers(0, 40, graph.num_nodes)
+
+        def fn(comm, dgraph):
+            labels = np.zeros(dgraph.n_total, dtype=np.int64)
+            labels[: dgraph.n_local] = clustering[
+                dgraph.first : dgraph.first + dgraph.n_local
+            ]
+            dgraph.halo_exchange(comm, labels)
+            before = comm.stats.collectives
+            parallel_contract(dgraph, comm, labels)
+            return comm.stats.collectives - before
+
+        def program(comm):
+            dgraph = DistGraph.from_global(
+                graph, balanced_vtxdist(graph.num_nodes, comm.size), comm.rank
+            )
+            return fn(comm, dgraph)
+
+        result = run_spmd(size, program, seed=11, sanitize=True)
+        assert all(c == 7 for c in result.per_rank)
+
+
 class TestLookupAndUncoarsen:
     def test_lookup_coarse_values(self):
         def program(comm):

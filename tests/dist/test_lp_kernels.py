@@ -1,0 +1,171 @@
+"""Distributed tests for the chunked SCLP kernels.
+
+``chunk_size=1`` must reproduce the scan engine label-for-label on every
+PE count, in every mode, with the collective-order sanitizer on; larger
+chunks must hold quality and hard balance.  Also covers the validated
+interface-label scatter (a bad sender is named, not silently scattered).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dist import DistGraph, balanced_vtxdist, run_spmd
+from repro.dist.dist_lp import (
+    _exchange_interface_labels,
+    parallel_label_propagation,
+)
+from repro.generators import rgg, rmat
+from repro.graph import block_weights, max_block_weight_bound
+from repro.metrics import edge_cut
+
+
+GRAPH = rmat(10, seed=3)
+CONSTRAINT = np.random.default_rng(3).integers(0, 2, GRAPH.num_nodes)
+
+
+def cluster_program(comm, chunk, constrained):
+    dgraph = DistGraph.from_global(
+        GRAPH, balanced_vtxdist(GRAPH.num_nodes, comm.size), comm.rank
+    )
+    cons = None
+    if constrained:
+        cons = np.zeros(dgraph.n_total, dtype=np.int64)
+        cons[: dgraph.n_local] = CONSTRAINT[
+            dgraph.first : dgraph.first + dgraph.n_local
+        ]
+        dgraph.halo_exchange(comm, cons)
+    init = dgraph.to_global(np.arange(dgraph.n_total, dtype=np.int64))
+    labels = parallel_label_propagation(
+        dgraph, comm, init, 30, 3, mode="cluster", constraint=cons,
+        chunk_size=chunk,
+    )
+    return dgraph.gather_global(comm, labels[: dgraph.n_local])
+
+
+def refine_program(comm, chunk):
+    dgraph = DistGraph.from_global(
+        GRAPH, balanced_vtxdist(GRAPH.num_nodes, comm.size), comm.rank
+    )
+    start = np.random.default_rng(7).integers(0, 4, GRAPH.num_nodes)
+    labels = np.zeros(dgraph.n_total, dtype=np.int64)
+    labels[: dgraph.n_local] = start[dgraph.first : dgraph.first + dgraph.n_local]
+    dgraph.halo_exchange(comm, labels)
+    labels = parallel_label_propagation(
+        dgraph, comm, labels, int(GRAPH.vwgt.sum()) // 4 + 8, 4,
+        mode="refine", k=4, chunk_size=chunk,
+    )
+    return dgraph.gather_global(comm, labels[: dgraph.n_local])
+
+
+class TestDistributedEquivalence:
+    """chunk_size=1 vs the scan engine, sanitized, label-for-label."""
+
+    @pytest.mark.parametrize("size", [1, 2, 4])
+    @pytest.mark.parametrize("constrained", [False, True])
+    def test_cluster_mode(self, size, constrained):
+        scan = run_spmd(size, cluster_program, 0, constrained,
+                        seed=1, sanitize=True).value
+        unit = run_spmd(size, cluster_program, 1, constrained,
+                        seed=1, sanitize=True).value
+        assert np.array_equal(scan, unit)
+
+    @pytest.mark.parametrize("size", [1, 2, 4])
+    def test_refine_mode(self, size):
+        scan = run_spmd(size, refine_program, 0, seed=1, sanitize=True).value
+        unit = run_spmd(size, refine_program, 1, seed=1, sanitize=True).value
+        assert np.array_equal(scan, unit)
+
+
+class TestDistributedChunkedQuality:
+    def test_default_chunk_cluster_bound(self):
+        size, bound = 4, 30
+
+        def fn(comm):
+            dgraph = DistGraph.from_global(
+                GRAPH, balanced_vtxdist(GRAPH.num_nodes, comm.size), comm.rank
+            )
+            init = dgraph.to_global(np.arange(dgraph.n_total, dtype=np.int64))
+            labels = parallel_label_propagation(
+                dgraph, comm, init, bound, 3, mode="cluster", chunk_size=None
+            )
+            return dgraph.gather_global(comm, labels[: dgraph.n_local])
+
+        clustering = run_spmd(size, fn, seed=2, sanitize=True).value
+        weights = np.bincount(clustering, weights=GRAPH.vwgt.astype(np.float64))
+        # same soft guarantee as the scan engine: p local views
+        assert weights.max() <= size * bound
+
+    def test_default_chunk_refine_balance(self):
+        graph = rgg(10, seed=5)
+        k = 2
+        lmax = max_block_weight_bound(graph, k, 0.03)
+        start = (np.arange(graph.num_nodes) % k).astype(np.int64)
+
+        def fn(comm):
+            dgraph = DistGraph.from_global(
+                graph, balanced_vtxdist(graph.num_nodes, comm.size), comm.rank
+            )
+            labels = np.zeros(dgraph.n_total, dtype=np.int64)
+            labels[: dgraph.n_local] = start[
+                dgraph.first : dgraph.first + dgraph.n_local
+            ]
+            dgraph.halo_exchange(comm, labels)
+            labels = parallel_label_propagation(
+                dgraph, comm, labels, lmax, 6, mode="refine", k=k,
+                chunk_size=None,
+            )
+            return dgraph.gather_global(comm, labels[: dgraph.n_local])
+
+        result = run_spmd(4, fn, seed=3, sanitize=True).value
+        assert block_weights(graph, result, k).max() <= lmax
+        assert edge_cut(graph, result) < edge_cut(graph, start)
+
+
+class TestInterfaceScatterValidation:
+    def test_bad_sender_is_named(self):
+        # rank 0 ships a label update for a node that is NOT ghosted on
+        # rank 1 (corrupted send list); rank 1 must raise naming rank 0
+        # instead of scattering into a neighbouring ghost slot.
+        graph = rgg(8, seed=0)
+
+        def fn(comm):
+            dgraph = DistGraph.from_global(
+                graph, balanced_vtxdist(graph.num_nodes, comm.size), comm.rank
+            )
+            labels = dgraph.to_global(np.arange(dgraph.n_total, dtype=np.int64))
+            changed = np.ones(dgraph.n_local, dtype=bool)
+            if comm.rank == 0:
+                # a low-id local node is interior for a contiguous split,
+                # so its global id is not in rank 1's ghost table
+                interior = np.flatnonzero(~dgraph.interface_mask())[0]
+                for i, q in enumerate(dgraph.send_ranks.tolist()):
+                    if q == 1:
+                        dgraph.send_nodes[i] = np.append(
+                            dgraph.send_nodes[i], interior
+                        )
+            _exchange_interface_labels(dgraph, comm, labels, changed)
+            return True
+
+        with pytest.raises(ValueError, match=r"from rank 0"):
+            run_spmd(2, fn, seed=0, sanitize=True)
+
+    def test_consistent_exchange_locates_ghosts(self):
+        graph = rgg(8, seed=1)
+
+        def fn(comm):
+            dgraph = DistGraph.from_global(
+                graph, balanced_vtxdist(graph.num_nodes, comm.size), comm.rank
+            )
+            labels = dgraph.to_global(np.arange(dgraph.n_total, dtype=np.int64))
+            changed = np.ones(dgraph.n_local, dtype=bool)
+            idx, values = _exchange_interface_labels(dgraph, comm, labels, changed)
+            # every update lands on a ghost slot and carries the owner's
+            # global id (labels were initialised to global ids)
+            assert np.all(idx >= dgraph.n_local)
+            assert np.array_equal(values, dgraph.ghost_global[idx - dgraph.n_local])
+            return True
+
+        result = run_spmd(3, fn, seed=0, sanitize=True)
+        assert all(result.per_rank)
