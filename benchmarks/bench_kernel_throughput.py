@@ -36,13 +36,16 @@ import numpy as np
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.core.config import fast_config
 from repro.core.label_propagation import size_constrained_label_propagation
 from repro.core.lp_kernels import DEFAULT_CHUNK_SIZE, SCAN_ENGINE
+from repro.dist.dist_partitioner import parallel_partition
 from repro.dist.dgraph import DistGraph, balanced_vtxdist
 from repro.dist.dist_contraction import parallel_contract
 from repro.dist.dist_lp import parallel_label_propagation
 from repro.dist.runtime import run_spmd
 from repro.generators import grid_2d, rmat
+from repro.perf.machine import MACHINE_A
 
 RESULT_PATH = REPO_ROOT / "BENCH_lp.json"
 PES = 4
@@ -143,6 +146,28 @@ def _best_pair(program) -> tuple[float, int]:
     return best
 
 
+def phase_breakdown() -> dict:
+    """Simulated seconds per pipeline phase of one fast-config partition.
+
+    Informational only — the ``--check`` gate compares ``metrics`` keys
+    exclusively, so this section can evolve without invalidating the
+    committed ops/sec baseline.
+    """
+    graph = rmat(12, seed=1)
+    res = parallel_partition(
+        graph, fast_config(k=4), num_pes=PES, machine=MACHINE_A, seed=0
+    )
+    total = sum(res.phase_times.values()) or 1.0
+    return {
+        "instance": "rmat12",
+        "pes": PES,
+        "cut": int(res.cut),
+        "sim_time_s": round(res.sim_time, 6),
+        "phases_sim_s": {k: round(v, 6) for k, v in res.phase_times.items()},
+        "phases_share": {k: round(v / total, 3) for k, v in res.phase_times.items()},
+    }
+
+
 def measure() -> dict:
     instances = {
         "rmat": rmat(13, seed=1),
@@ -173,6 +198,7 @@ def measure() -> dict:
         "speedups": {
             "par_cluster_lp_rmat15_p4": round(chunked / scan, 2),
         },
+        "phase_metrics": phase_breakdown(),
     }
 
 

@@ -4,4 +4,7 @@ import sys
 
 from .cli import main
 
-sys.exit(main())
+try:
+    sys.exit(main())
+except BrokenPipeError:  # e.g. `repro report ... | head`
+    sys.exit(0)

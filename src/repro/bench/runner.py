@@ -109,6 +109,8 @@ class AggregatedRow:
     avg_time: float | None
     avg_imbalance: float | None
     oom: bool = False
+    #: per-phase simulated seconds averaged over seeds (ParHIP configs only)
+    avg_phase_times: dict[str, float] | None = None
 
     def cells(self) -> tuple[str, str, str]:
         if self.oom:
@@ -157,6 +159,7 @@ def run_algorithm(
     cuts: list[int] = []
     times: list[float] = []
     imbalances: list[float] = []
+    phase_times: list[dict] = []
     for seed in range(seeds):
         try:
             if algorithm == "parmetis":
@@ -191,7 +194,16 @@ def run_algorithm(
         cuts.append(res.cut)
         times.append(res.sim_time)
         imbalances.append(res.imbalance)
+        if getattr(res, "phase_times", None):
+            phase_times.append(res.phase_times)
 
+    avg_phases = None
+    if phase_times:
+        phases = sorted({p for pt in phase_times for p in pt})
+        avg_phases = {
+            p: float(np.mean([pt.get(p, 0.0) for pt in phase_times]))
+            for p in phases
+        }
     return AggregatedRow(
         algorithm,
         instance_name,
@@ -200,4 +212,5 @@ def run_algorithm(
         int(min(cuts)),
         float(np.mean(times)),
         float(np.mean(imbalances)),
+        avg_phase_times=avg_phases,
     )

@@ -3,6 +3,9 @@
 Mirrors the ergonomics of the real tools (``parhip``, ``kaffpa``)::
 
     python -m repro partition graph.metis -k 8 --preset fast -o graph.part
+    python -m repro partition graph.metis -k 8 --num-pes 4 --trace out.json
+    python -m repro trace out.json partition graph.metis -k 8 --num-pes 4
+    python -m repro report out.events.jsonl
     python -m repro generate rgg --exponent 12 -o rgg12.metis
     python -m repro evaluate graph.metis graph.part -k 8
     python -m repro cluster graph.metis -o clusters.txt
@@ -62,6 +65,23 @@ def _save_graph(graph: Graph, path: str) -> None:
         write_metis(graph, path)
 
 
+def _events_path(trace_out: str) -> Path:
+    """Sidecar JSONL path for a Chrome-trace output (out.json -> out.events.jsonl)."""
+    path = Path(trace_out)
+    return path.with_name((path.stem or "trace") + ".events.jsonl")
+
+
+def _write_trace_outputs(trace_out: str) -> None:
+    from .obsv import TRACER, write_chrome_trace, write_jsonl
+
+    write_chrome_trace(trace_out, TRACER)
+    events = _events_path(trace_out)
+    write_jsonl(events, TRACER)
+    print(f"chrome trace written to {trace_out} "
+          "(load in chrome://tracing or ui.perfetto.dev)")
+    print(f"event stream written to {events} (render with: repro report {events})")
+
+
 def _cmd_partition(args: argparse.Namespace) -> int:
     from .core.config import eco_config, fast_config, minimal_config
 
@@ -74,15 +94,23 @@ def _cmd_partition(args: argparse.Namespace) -> int:
         cycle_type=args.cycle,
     )
     initial = read_partition(args.initial_partition) if args.initial_partition else None
-    result = partition_graph(
-        graph,
-        k=args.k,
-        num_pes=args.num_pes,
-        machine=_MACHINES[args.machine],
-        seed=args.seed,
-        config=config,
-        initial_partition=initial,
-    )
+    if args.trace:
+        from .obsv import TRACER
+
+        TRACER.enable()
+    try:
+        result = partition_graph(
+            graph,
+            k=args.k,
+            num_pes=args.num_pes,
+            machine=_MACHINES[args.machine],
+            seed=args.seed,
+            config=config,
+            initial_partition=initial,
+        )
+    finally:
+        if args.trace:
+            TRACER.disable()
     print(result.quality.summary())
     if result.sim_time is not None:
         print(f"simulated time: {result.sim_time * 1e3:.2f} ms "
@@ -90,6 +118,8 @@ def _cmd_partition(args: argparse.Namespace) -> int:
     if args.output:
         write_partition(result.partition, args.output)
         print(f"partition written to {args.output}")
+    if args.trace:
+        _write_trace_outputs(args.trace)
     return 0
 
 
@@ -144,6 +174,34 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     )
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .obsv import TRACER
+
+    rest = list(args.rest)
+    if rest and rest[0] == "--":
+        rest = rest[1:]
+    if not rest:
+        print("trace: missing command to run under the tracer", file=sys.stderr)
+        return 2
+    if rest[0] in ("trace", "report"):
+        print(f"trace: cannot trace the {rest[0]!r} command", file=sys.stderr)
+        return 2
+    TRACER.enable()
+    try:
+        code = main(rest)
+    finally:
+        TRACER.disable()
+    _write_trace_outputs(args.out)
+    return code
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .obsv import read_jsonl, render_report
+
+    print(render_report(read_jsonl(args.events)))
+    return 0
+
+
 def _cmd_instances(_args: argparse.Namespace) -> int:
     print(f"{'name':14s} {'type':4s} {'group':6s} {'paper n':>10s} {'paper m':>10s}")
     for name, inst in generators.INSTANCES.items():
@@ -173,6 +231,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="multilevel cycle shape")
     p.add_argument("--initial-partition", dest="initial_partition",
                    help="warm-start partition file (one block id per line)")
+    p.add_argument("--trace", metavar="OUT.json", default=None,
+                   help="record a trace; writes Chrome-trace JSON to OUT.json "
+                        "and the event stream to OUT.events.jsonl")
     p.add_argument("-o", "--output")
     p.set_defaults(func=_cmd_partition)
 
@@ -196,6 +257,21 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--seed", type=int, default=0)
     c.add_argument("-o", "--output")
     c.set_defaults(func=_cmd_cluster)
+
+    t = sub.add_parser(
+        "trace", help="run another repro command with the tracer armed"
+    )
+    t.add_argument("out", metavar="OUT.json",
+                   help="Chrome-trace output path (events go to OUT.events.jsonl)")
+    t.add_argument("rest", nargs=argparse.REMAINDER,
+                   help="the repro command to run, e.g. partition g.metis -k 4")
+    t.set_defaults(func=_cmd_trace)
+
+    r = sub.add_parser(
+        "report", help="render per-level / per-phase / load tables from a trace"
+    )
+    r.add_argument("events", help="JSONL event stream (the .events.jsonl file)")
+    r.set_defaults(func=_cmd_report)
 
     i = sub.add_parser("instances", help="list the Table I instance registry")
     i.set_defaults(func=_cmd_instances)

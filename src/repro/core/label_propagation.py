@@ -46,6 +46,7 @@ import random as _pyrandom
 import numpy as np
 
 from ..graph.csr import Graph
+from ..obsv.tracer import TRACER
 from .lp_kernels import (
     SCAN_ENGINE,
     aggregate_candidates,
@@ -180,7 +181,13 @@ def size_constrained_label_propagation(
     # than numpy's); seeded from the caller's generator for determinism.
     tie_rng = _pyrandom.Random(int(rng.integers(0, 2**63 - 1)))
 
-    for _ in range(max(0, iterations)):
+    for _iter in range(max(0, iterations)):
+        lp_span = TRACER.span(
+            "lp.iteration", engine="scan",
+            mode="refine" if refine else "cluster", iteration=_iter,
+            constrained=constraint is not None,
+        )
+        lp_span.__enter__()
         order = visit_order(graph, ordering, rng).tolist()
         moved = 0
         for v in order:
@@ -247,6 +254,11 @@ def size_constrained_label_propagation(
                 weight_list[target] += c_v
                 label_list[v] = target
                 moved += 1
+        lp_span.set(moved=moved)
+        if TRACER.enabled:
+            TRACER.metrics.counter("lp.iterations").inc()
+            TRACER.metrics.counter("lp.moved_nodes").inc(moved)
+        lp_span.__exit__(None, None, None)
         if moved == 0:
             break
 
@@ -304,14 +316,22 @@ def _chunked_lp(
             )
         return plan
 
-    for _ in range(max(0, iterations)):
+    for _iter in range(max(0, iterations)):
+        lp_span = TRACER.span(
+            "lp.iteration", engine="chunked",
+            mode="refine" if refine else "cluster", iteration=_iter,
+            chunk_size=chunk, constrained=constraint is not None,
+        )
+        lp_span.__enter__()
         order = visit_order(graph, ordering, rng)
         if not refine:
             # Isolated nodes never move in clustering mode; drop them so
             # chunks are all-kernel work.
             order = order[degrees[order] > 0]
         moved = 0
+        n_chunks = 0
         for lo, hi in chunk_ranges(order.size, effective_chunk(chunk, order.size)):
+            n_chunks += 1
             nodes = order[lo:hi]
             if refine:
                 active = nodes[degrees[nodes] > 0]
@@ -365,6 +385,11 @@ def _chunked_lp(
                     weight[b] += c
                     labels[v] = b
                     moved += 1
+        lp_span.set(moved=moved, chunks=n_chunks)
+        if TRACER.enabled:
+            TRACER.metrics.counter("lp.iterations").inc()
+            TRACER.metrics.counter("lp.moved_nodes").inc(moved)
+        lp_span.__exit__(None, None, None)
         if moved == 0:
             break
     return labels
@@ -468,7 +493,12 @@ def _banded_refinement(
     tie_rng = _pyrandom.Random(int(rng.integers(0, 2**63 - 1)))
     band_list = band.tolist()
 
-    for _ in range(max(0, iterations)):
+    for _iter in range(max(0, iterations)):
+        lp_span = TRACER.span(
+            "lp.iteration", engine="banded", mode="refine", iteration=_iter,
+            band_size=len(band_list), constrained=constraint is not None,
+        )
+        lp_span.__enter__()
         moved = 0
         order = [band_list[i] for i in rng.permutation(len(band_list)).tolist()]
         for v in order:
@@ -513,6 +543,11 @@ def _banded_refinement(
                 weight_list[target] += c_v
                 label_list[v] = target
                 moved += 1
+        lp_span.set(moved=moved)
+        if TRACER.enabled:
+            TRACER.metrics.counter("lp.iterations").inc()
+            TRACER.metrics.counter("lp.moved_nodes").inc(moved)
+        lp_span.__exit__(None, None, None)
         if moved == 0:
             break
     return np.asarray(label_list, dtype=np.int64)

@@ -16,6 +16,8 @@ import numpy as np
 from ..graph.csr import Graph
 from ..graph.ops import degree_statistics
 from ..graph.validation import max_block_weight_bound
+from ..metrics.quality import edge_cut
+from ..obsv.tracer import _NOOP_SPAN, TRACER
 from .coarsening import Hierarchy, coarsen
 from .config import PartitionConfig
 from .label_propagation import label_propagation_refinement
@@ -80,6 +82,7 @@ def multilevel_partition(
     initial_partitioner: InitialPartitioner | None = None,
     input_partition: np.ndarray | None = None,
     _depth: int = 0,
+    _trace_cycle: int | None = None,
 ) -> np.ndarray:
     """One multilevel cycle; returns a k-partition of ``graph``.
 
@@ -99,9 +102,30 @@ def multilevel_partition(
     initial = initial_partitioner or default_initial_partitioner
     lmax = max_block_weight_bound(graph, k, config.epsilon)
 
-    hierarchy: Hierarchy = coarsen(
-        graph, config, rng, cluster_factor, constraint=input_partition
+    # Only the outermost call emits pipeline spans/events: W-cycle
+    # recursions are inner detail and would double-count phase times.
+    top = _depth == 0
+
+    coarsen_span = (
+        TRACER.span("coarsening", cycle=_trace_cycle) if top else _NOOP_SPAN
     )
+    with coarsen_span as csp:
+        hierarchy: Hierarchy = coarsen(
+            graph, config, rng, cluster_factor, constraint=input_partition
+        )
+        csp.set(levels=len(hierarchy.levels))
+    if top and TRACER.enabled:
+        for i, level in enumerate(hierarchy.levels):
+            fine_n, coarse_n = level.fine.num_nodes, level.coarse.num_nodes
+            shrink = fine_n / max(1, coarse_n)
+            TRACER.event(
+                "coarsen.level", cycle=_trace_cycle, level=i,
+                fine_nodes=fine_n, fine_edges=level.fine.num_edges,
+                coarse_nodes=coarse_n, coarse_edges=level.coarse.num_edges,
+                shrink=shrink,
+            )
+            TRACER.metrics.counter("coarsen.levels").inc()
+            TRACER.metrics.histogram("coarsen.shrink").observe(shrink)
 
     seed = input_partition
     if seed is not None:
@@ -110,14 +134,43 @@ def multilevel_partition(
             projected[level.fine_to_coarse] = seed
             seed = projected
 
-    partition = initial(hierarchy.coarsest, k, config.epsilon, rng, seed_partition=seed)
+    init_span = (
+        TRACER.span("initial", cycle=_trace_cycle) if top else _NOOP_SPAN
+    )
+    with init_span as isp:
+        partition = initial(
+            hierarchy.coarsest, k, config.epsilon, rng, seed_partition=seed
+        )
+        init_cut: int | None = None
+        if top and TRACER.enabled:
+            init_cut = int(edge_cut(hierarchy.coarsest, partition))
+            isp.set(nodes=hierarchy.coarsest.num_nodes, cut=init_cut)
 
     # Uncoarsen: project, then r rounds of LP refinement per level.
+    refine_span = (
+        TRACER.span("refinement", cycle=_trace_cycle) if top else _NOOP_SPAN
+    )
+    refine_span.__enter__()
     partition = label_propagation_refinement(
         hierarchy.coarsest, partition, lmax, config.refinement_iterations, rng
     )
-    for level in reversed(hierarchy.levels):
+    if top and TRACER.enabled:
+        TRACER.event(
+            "initial.cut", cycle=_trace_cycle,
+            nodes=hierarchy.coarsest.num_nodes, cut=init_cut,
+            cut_refined=int(edge_cut(hierarchy.coarsest, partition)),
+        )
+    for level_idx in range(len(hierarchy.levels) - 1, -1, -1):
+        level = hierarchy.levels[level_idx]
+        level_span = (
+            TRACER.span("uncoarsen.level", cycle=_trace_cycle, level=level_idx)
+            if top else _NOOP_SPAN
+        )
+        level_span.__enter__()
         partition = project_partition(partition, level.fine_to_coarse)
+        cut_projected: int | None = None
+        if top and TRACER.enabled:
+            cut_projected = int(edge_cut(level.fine, partition))
         partition = label_propagation_refinement(
             level.fine, partition, lmax, config.refinement_iterations, rng
         )
@@ -136,12 +189,21 @@ def multilevel_partition(
                 input_partition=partition,
                 _depth=_depth + 1,
             )
-            from ..metrics.quality import edge_cut
-
             heavy = int(np.bincount(recursed, weights=level.fine.vwgt,
                                     minlength=k).max())
             if heavy <= lmax and edge_cut(level.fine, recursed) <= edge_cut(
                 level.fine, partition
             ):
                 partition = recursed
+        if top and TRACER.enabled:
+            cut_refined = int(edge_cut(level.fine, partition))
+            level_span.set(cut_projected=cut_projected, cut_refined=cut_refined)
+            TRACER.event(
+                "uncoarsen.level", cycle=_trace_cycle, level=level_idx,
+                nodes=level.fine.num_nodes, cut_projected=cut_projected,
+                cut_refined=cut_refined,
+            )
+            TRACER.metrics.gauge("partition.cut").set(cut_refined)
+        level_span.__exit__(None, None, None)
+    refine_span.__exit__(None, None, None)
     return partition

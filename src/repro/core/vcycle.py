@@ -16,6 +16,7 @@ import numpy as np
 from ..graph.csr import Graph
 from ..graph.validation import max_block_weight_bound
 from ..metrics.quality import edge_cut
+from ..obsv.tracer import TRACER
 from .config import PartitionConfig
 from .multilevel import InitialPartitioner, detect_social, multilevel_partition
 
@@ -59,17 +60,20 @@ def iterated_vcycles(
         best_key = fitness(best)
     for cycle in range(config.num_vcycles):
         factor = config.cluster_factor(cycle, social, rng)
-        candidate = multilevel_partition(
-            graph,
-            config,
-            rng,
-            cluster_factor=factor,
-            initial_partitioner=initial_partitioner,
-            input_partition=best,
-        )
-        key = fitness(candidate)
-        if best_key is None or key <= best_key:
-            best, best_key = candidate, key
-        cuts.append(best_key[1])
+        with TRACER.span("vcycle", cycle=cycle, factor=float(factor)) as sp:
+            candidate = multilevel_partition(
+                graph,
+                config,
+                rng,
+                cluster_factor=factor,
+                initial_partitioner=initial_partitioner,
+                input_partition=best,
+                _trace_cycle=cycle,
+            )
+            key = fitness(candidate)
+            if best_key is None or key <= best_key:
+                best, best_key = candidate, key
+            cuts.append(best_key[1])
+            sp.set(cut=key[1], best_cut=best_key[1])
     assert best is not None and best_key is not None
     return VcycleTrace(tuple(cuts), best)

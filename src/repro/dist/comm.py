@@ -51,11 +51,13 @@ from __future__ import annotations
 import os
 import sys
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
 import numpy as np
 
+from ..obsv.tracer import TRACER
 from ..perf.machine import SERIAL, Machine
 
 __all__ = [
@@ -192,6 +194,15 @@ class CommStats:
     messages_sent: int = 0
     bytes_sent: int = 0
     work_units: float = 0.0
+    #: per-op breakdown ``{op: (count, bytes_sent)}``; counts sum to
+    #: ``collectives`` and bytes sum to ``bytes_sent`` (only ``alltoall``
+    #: sends payload bytes — the aggregate has always counted it that way).
+    per_op: dict[str, tuple[int, int]] = field(default_factory=dict)
+
+    def record_op(self, op: str, count: int = 0, nbytes: int = 0) -> None:
+        """Fold one observation into the per-op breakdown."""
+        prev_count, prev_bytes = self.per_op.get(op, (0, 0))
+        self.per_op[op] = (prev_count + count, prev_bytes + nbytes)
 
 
 class World:
@@ -335,6 +346,10 @@ class SimComm:
     ) -> list[Any]:
         """Gather one value from each rank; advance all clocks in lock-step."""
         world = self.world
+        traced = TRACER.enabled  # process-global: uniform across ranks
+        if traced:
+            wall_t0 = time.perf_counter()
+            sim_t0 = float(world._sim_time[self.rank])
         world.progress[self.rank] = (op, self.stats.collectives + 1)
         if world.sanitize:
             self._seq += 1
@@ -352,7 +367,23 @@ class SimComm:
         recv = recv_bytes_fn(gathered)
         world._sim_time[self.rank] = base + world.machine.collective_time(self.size, recv)
         self.stats.collectives += 1
+        self.stats.record_op(op, count=1)
         self._sync()
+        if traced:
+            sim_t1 = float(world._sim_time[self.rank])
+            TRACER.record_span(
+                f"comm.{op}",
+                rank=self.rank,
+                wall_ts=wall_t0,
+                wall_dur=time.perf_counter() - wall_t0,
+                sim_ts=sim_t0,
+                sim_dur=sim_t1 - sim_t0,
+                op=op,
+                bytes=int(recv),
+                seq=self.stats.collectives,
+            )
+            TRACER.metrics.counter("comm.collectives").inc()
+            TRACER.metrics.counter("comm.recv_bytes").inc(int(recv))
         return gathered
 
     # ------------------------------------------------------------------
@@ -432,9 +463,11 @@ class SimComm:
             1 for dest, payload in enumerate(per_destination)
             if dest != self.rank and payload_bytes(payload) > 0
         )
-        self.stats.bytes_sent += sum(
+        sent_bytes = sum(
             payload_bytes(p) for d, p in enumerate(per_destination) if d != self.rank
         )
+        self.stats.bytes_sent += sent_bytes
+        self.stats.record_op("alltoall", nbytes=sent_bytes)
         return [rows[src][self.rank] for src in range(self.size)]
 
     # ------------------------------------------------------------------

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obsv.tracer import TRACER
 from .comm import SimComm
 from .dgraph import DistGraph, balanced_vtxdist
 
@@ -107,6 +108,18 @@ def parallel_contract(
     live in the global fine node id space).  ``constraint`` optionally
     carries a partition to the coarse level (V-cycles).
     """
+    with TRACER.span("contract", comm=comm, fine_nodes=dgraph.n_global) as sp:
+        contraction = _contract_impl(dgraph, comm, labels, constraint)
+        sp.set(coarse_nodes=contraction.coarse.n_global)
+        return contraction
+
+
+def _contract_impl(
+    dgraph: DistGraph,
+    comm: SimComm,
+    labels: np.ndarray,
+    constraint: np.ndarray | None,
+) -> DistContraction:
     n_local = dgraph.n_local
     n_global = dgraph.n_global
     local_labels = np.asarray(labels[:n_local], dtype=np.int64)
@@ -239,9 +252,14 @@ def parallel_uncoarsen(
     PE owns; the result is the block of each *fine local* node, fetched
     from the coarse representatives' owners.
     """
-    return lookup_coarse_values(
-        comm,
-        contraction.local_to_coarse,
-        contraction.coarse.vtxdist,
-        np.asarray(coarse_partition_local, dtype=np.int64),
-    )
+    with TRACER.span(
+        "uncoarsen.project", comm=comm,
+        fine_nodes=contraction.fine.n_global,
+        coarse_nodes=contraction.coarse.n_global,
+    ):
+        return lookup_coarse_values(
+            comm,
+            contraction.local_to_coarse,
+            contraction.coarse.vtxdist,
+            np.asarray(coarse_partition_local, dtype=np.int64),
+        )

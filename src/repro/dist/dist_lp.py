@@ -53,6 +53,7 @@ from ..core.lp_kernels import (
     plan_chunk,
     resolve_chunk_size,
 )
+from ..obsv.tracer import TRACER
 from .comm import SimComm
 from .dgraph import DistGraph
 
@@ -235,51 +236,65 @@ def _chunked_cluster_phases(
         for lo, hi in chunk_ranges(scan_order.size, phase_chunk)
     ]
     for _phase in range(max(0, iterations)):
-        changed_mask = np.zeros(n_local, dtype=bool)
-        arcs_scanned = 0
-        for plan in plans:
-            nodes = plan.nodes
-            cands = aggregate_candidates(
-                plan, labels, label_space, exact_order=chunk == 1
-            )
-            arcs_scanned += cands.arcs_scanned
-            own = labels[nodes]
-            c_v = vwgt_all[nodes]
-            fits = weight[cands.labels] + c_v[cands.node_pos] <= bound
-            eligible = cands.is_own | fits
-            choice = pick_targets(cands, eligible, tie_rng)
-            has = choice >= 0
-            target = own.copy()
-            target[has] = cands.labels[choice[has]]
-            moving = np.flatnonzero(target != own)
-            if moving.size == 0:
-                continue
-            m_nodes, m_own = nodes[moving], own[moving]
-            m_target, m_c = target[moving], c_v[moving]
-            keep = capped_inflow_mask(
-                m_target, m_c, weight[m_target], np.full(m_target.size, bound)
-            )
-            m_nodes, m_own = m_nodes[keep], m_own[keep]
-            m_target, m_c = m_target[keep], m_c[keep]
-            np.subtract.at(weight, m_own, m_c)
-            np.add.at(weight, m_target, m_c)
-            labels[m_nodes] = m_target
-            changed_mask[m_nodes[interface[m_nodes]]] = True
-        comm.work(arcs_scanned)
-
-        ghost_idx, ghost_vals = _exchange_interface_labels(
-            dgraph, comm, labels, changed_mask
+        lp_span = TRACER.span(
+            "lp.iteration", comm=comm, engine="chunked", mode="cluster",
+            iteration=_phase, chunk_size=phase_chunk, chunks=len(plans),
+            constrained=constraint is not None,
         )
-        if ghost_idx.size:
-            old = labels[ghost_idx]
-            diff = old != ghost_vals
-            if diff.any():
-                g_w = vwgt_all[ghost_idx[diff]]
-                np.subtract.at(weight, old[diff], g_w)
-                np.add.at(weight, ghost_vals[diff], g_w)
-                labels[ghost_idx[diff]] = ghost_vals[diff]
+        with lp_span:
+            changed_mask = np.zeros(n_local, dtype=bool)
+            arcs_scanned = 0
+            phase_moves = 0
+            for plan in plans:
+                nodes = plan.nodes
+                cands = aggregate_candidates(
+                    plan, labels, label_space, exact_order=chunk == 1
+                )
+                arcs_scanned += cands.arcs_scanned
+                own = labels[nodes]
+                c_v = vwgt_all[nodes]
+                fits = weight[cands.labels] + c_v[cands.node_pos] <= bound
+                eligible = cands.is_own | fits
+                choice = pick_targets(cands, eligible, tie_rng)
+                has = choice >= 0
+                target = own.copy()
+                target[has] = cands.labels[choice[has]]
+                moving = np.flatnonzero(target != own)
+                if moving.size == 0:
+                    continue
+                m_nodes, m_own = nodes[moving], own[moving]
+                m_target, m_c = target[moving], c_v[moving]
+                keep = capped_inflow_mask(
+                    m_target, m_c, weight[m_target], np.full(m_target.size, bound)
+                )
+                m_nodes, m_own = m_nodes[keep], m_own[keep]
+                m_target, m_c = m_target[keep], m_c[keep]
+                np.subtract.at(weight, m_own, m_c)
+                np.add.at(weight, m_target, m_c)
+                labels[m_nodes] = m_target
+                changed_mask[m_nodes[interface[m_nodes]]] = True
+                phase_moves += int(m_nodes.size)
+            comm.work(arcs_scanned)
 
-        if int(comm.allreduce(int(changed_mask.sum()))) == 0:
+            ghost_idx, ghost_vals = _exchange_interface_labels(
+                dgraph, comm, labels, changed_mask
+            )
+            if ghost_idx.size:
+                old = labels[ghost_idx]
+                diff = old != ghost_vals
+                if diff.any():
+                    g_w = vwgt_all[ghost_idx[diff]]
+                    np.subtract.at(weight, old[diff], g_w)
+                    np.add.at(weight, ghost_vals[diff], g_w)
+                    labels[ghost_idx[diff]] = ghost_vals[diff]
+
+            global_changed = int(comm.allreduce(int(changed_mask.sum())))
+            lp_span.set(moved=phase_moves, arcs=arcs_scanned,
+                        global_changed=global_changed)
+            if TRACER.enabled:
+                TRACER.metrics.counter("lp.iterations").inc()
+                TRACER.metrics.counter("lp.moved_nodes").inc(phase_moves)
+        if global_changed == 0:
             break
     return labels
 
@@ -314,15 +329,24 @@ def _chunked_refine_phases(
     exact = exact_block_weights(dgraph, comm, labels, k)
 
     for _phase in range(max(0, iterations)):
+        lp_span = TRACER.span(
+            "lp.iteration", comm=comm, engine="chunked", mode="refine",
+            iteration=_phase, chunk_size=effective_chunk(chunk, n_local),
+            constrained=constraint is not None,
+        )
+        lp_span.__enter__()
         inflow_budget = np.maximum(0.0, (bound - exact) / size)
         evict_budget = np.maximum(0.0, (exact - bound) / size)
         local_net = np.zeros(k, dtype=np.int64)
         local_out = np.zeros(k, dtype=np.int64)
         changed_mask = np.zeros(n_local, dtype=bool)
         arcs_scanned = 0
+        phase_moves = 0
+        n_chunks = 0
 
         order = comm.rng.permutation(n_local)
         for lo, hi in chunk_ranges(n_local, effective_chunk(chunk, n_local)):
+            n_chunks += 1
             nodes = order[lo:hi]
             node_deg = degrees[nodes]
             active = nodes[node_deg > 0]
@@ -360,6 +384,7 @@ def _chunked_refine_phases(
                     np.add.at(local_out, m_own[m_evict], m_c[m_evict])
                     labels[m_nodes] = m_target
                     changed_mask[m_nodes[interface[m_nodes]]] = True
+                    phase_moves += int(m_nodes.size)
             # Isolated nodes: balance repair within the eviction budget,
             # node-at-a-time against the live views (rare, O(k) each).
             for v in nodes[node_deg == 0].tolist():
@@ -379,6 +404,7 @@ def _chunked_refine_phases(
                 local_net[b] += c
                 local_out[own_v] += c
                 labels[v] = b
+                phase_moves += 1
                 if interface[v]:
                     changed_mask[v] = True
         comm.work(arcs_scanned)
@@ -392,7 +418,14 @@ def _chunked_refine_phases(
         # Restore exact weights with one allreduce (Section IV-B).
         exact = exact_block_weights(dgraph, comm, labels, k)
 
-        if int(comm.allreduce(int(changed_mask.sum()))) == 0:
+        global_changed = int(comm.allreduce(int(changed_mask.sum())))
+        lp_span.set(moved=phase_moves, arcs=arcs_scanned, chunks=n_chunks,
+                    global_changed=global_changed)
+        if TRACER.enabled:
+            TRACER.metrics.counter("lp.iterations").inc()
+            TRACER.metrics.counter("lp.moved_nodes").inc(phase_moves)
+        lp_span.__exit__(None, None, None)
+        if global_changed == 0:
             break
     return labels
 
@@ -429,8 +462,14 @@ def _scan_cluster_phases(
 
     degree_order = np.argsort(dgraph.degrees, kind="stable").tolist()
     for _phase in range(max(0, iterations)):
+        lp_span = TRACER.span(
+            "lp.iteration", comm=comm, engine="scan", mode="cluster",
+            iteration=_phase, constrained=constraint is not None,
+        )
+        lp_span.__enter__()
         changed: list[int] = []
         arcs_scanned = 0
+        phase_moves = 0
         for v in degree_order:
             begin, end = xadj[v], xadj[v + 1]
             if begin == end:
@@ -470,6 +509,7 @@ def _scan_cluster_phases(
                 weight_view[own] = weight_view.get(own, 0) - c_v
                 weight_view[target] = weight_view.get(target, 0) + c_v
                 label_list[v] = target
+                phase_moves += 1
                 if interface[v]:
                     changed.append(v)
         comm.work(arcs_scanned)
@@ -489,7 +529,14 @@ def _scan_cluster_phases(
             weight_view[new_lab] = weight_view.get(new_lab, 0) + w
             label_list[gi] = new_lab
 
-        if int(comm.allreduce(len(changed))) == 0:
+        global_changed = int(comm.allreduce(len(changed)))
+        lp_span.set(moved=phase_moves, arcs=arcs_scanned,
+                    global_changed=global_changed)
+        if TRACER.enabled:
+            TRACER.metrics.counter("lp.iterations").inc()
+            TRACER.metrics.counter("lp.moved_nodes").inc(phase_moves)
+        lp_span.__exit__(None, None, None)
+        if global_changed == 0:
             break
 
     return np.asarray(label_list, dtype=np.int64)
@@ -523,6 +570,11 @@ def _scan_refine_phases(
     ).tolist()
 
     for _phase in range(max(0, iterations)):
+        lp_span = TRACER.span(
+            "lp.iteration", comm=comm, engine="scan", mode="refine",
+            iteration=_phase, constrained=constraint is not None,
+        )
+        lp_span.__enter__()
         # Per-PE budgets for this phase (see module docstring).
         inflow_budget = [max(0.0, (bound - exact[b]) / size) for b in range(k)]
         evict_budget = [max(0.0, (exact[b] - bound) / size) for b in range(k)]
@@ -531,6 +583,7 @@ def _scan_refine_phases(
 
         changed: list[int] = []
         arcs_scanned = 0
+        phase_moves = 0
         for v in comm.rng.permutation(n_local).tolist():
             begin, end = xadj[v], xadj[v + 1]
             own = label_list[v]
@@ -549,6 +602,7 @@ def _scan_refine_phases(
                         local_net[target] += c_v
                         local_out[own] += c_v
                         label_list[v] = target
+                        phase_moves += 1
                         if interface[v]:
                             changed.append(v)
                 continue
@@ -594,6 +648,7 @@ def _scan_refine_phases(
                 if evicting:
                     local_out[own] += c_v
                 label_list[v] = target
+                phase_moves += 1
                 if interface[v]:
                     changed.append(v)
         comm.work(arcs_scanned)
@@ -612,7 +667,14 @@ def _scan_refine_phases(
             dgraph, comm, np.asarray(label_list, dtype=np.int64), k
         ).tolist()
 
-        if int(comm.allreduce(len(changed))) == 0:
+        global_changed = int(comm.allreduce(len(changed)))
+        lp_span.set(moved=phase_moves, arcs=arcs_scanned,
+                    global_changed=global_changed)
+        if TRACER.enabled:
+            TRACER.metrics.counter("lp.iterations").inc()
+            TRACER.metrics.counter("lp.moved_nodes").inc(phase_moves)
+        lp_span.__exit__(None, None, None)
+        if global_changed == 0:
             break
 
     return np.asarray(label_list, dtype=np.int64)

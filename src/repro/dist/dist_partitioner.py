@@ -32,13 +32,14 @@ from ..core.multilevel import detect_social
 from ..evolutionary.kaffpae import KaffpaeOptions, kaffpae_partition
 from ..graph.csr import Graph
 from ..graph.validation import max_block_weight_bound
-from ..metrics.quality import evaluate_partition, PartitionQuality
+from ..metrics.quality import edge_cut, evaluate_partition, PartitionQuality
+from ..obsv.tracer import TRACER
 from ..perf.machine import Machine
 from ..perf.memory import MemoryBudget, estimate_graph_bytes
 from .comm import SimComm
 from .dgraph import DistGraph, balanced_vtxdist
 from .dist_contraction import parallel_contract, parallel_uncoarsen
-from .dist_lp import parallel_label_propagation
+from .dist_lp import distributed_edge_cut, parallel_label_propagation
 from .runtime import run_spmd
 
 __all__ = ["ParallelResult", "parallel_partition", "parhip_program"]
@@ -135,11 +136,16 @@ def parhip_program(
         # Floor of 2 for the same reason as the sequential coarsener: at
         # scaled-down sizes the mesh factor must not freeze clustering.
         max_cluster_weight = max(2, int(lmax / factor))
+        cycle_span = TRACER.span("vcycle", comm=comm, cycle=cycle,
+                                 factor=float(factor))
+        cycle_span.__enter__()
 
         # ------------------------------------------------------------------
         # Parallel coarsening
         # ------------------------------------------------------------------
         t0 = comm.sim_time
+        coarsen_span = TRACER.span("coarsening", comm=comm, cycle=cycle)
+        coarsen_span.__enter__()
         constraint: np.ndarray | None = None
         if partition_local is not None:
             constraint = np.zeros(dgraph.n_total, dtype=np.int64)
@@ -150,7 +156,16 @@ def parhip_program(
         level_charges: list[float] = []
         current = dgraph
         current_constraint = constraint
+        # Global fine edge count of the current level, maintained only
+        # while tracing (one extra allreduce per level, uniform across
+        # ranks because TRACER.enabled is process-global).
+        traced_edges: int | None = None
+        if TRACER.enabled:
+            traced_edges = int(comm.allreduce(current.num_arcs)) // 2
         while current.n_global > config.coarsest_target():
+            level_span = TRACER.span("coarsen.level", comm=comm, cycle=cycle,
+                                     level=len(levels))
+            level_span.__enter__()
             # Same per-level bound adaptation as the sequential coarsener;
             # the max node weight is global, hence one allreduce.
             local_max = int(current.vwgt.max(initial=1))
@@ -176,10 +191,28 @@ def parhip_program(
                 else current_constraint,
             )
             if contraction.coarse.n_global >= config.min_shrink_factor * current.n_global:
+                level_span.set(stalled=True)
+                level_span.__exit__(None, None, None)
                 break  # coarsening stalled; partition what we have
             levels.append(contraction)
             current = contraction.coarse
             coarse_sizes.append(current.n_global)
+            if TRACER.enabled:
+                coarse_edges = int(comm.allreduce(current.num_arcs)) // 2
+                fine_n = contraction.fine.n_global
+                coarse_n = current.n_global
+                shrink = fine_n / max(1, coarse_n)
+                level_span.set(fine_nodes=fine_n, coarse_nodes=coarse_n)
+                if comm.rank == 0:
+                    TRACER.event(
+                        "coarsen.level", cycle=cycle, level=len(levels) - 1,
+                        fine_nodes=fine_n, fine_edges=traced_edges,
+                        coarse_nodes=coarse_n, coarse_edges=coarse_edges,
+                        shrink=shrink,
+                    )
+                    TRACER.metrics.counter("coarsen.levels").inc()
+                    TRACER.metrics.histogram("coarsen.shrink").observe(shrink)
+                traced_edges = coarse_edges
             if budget is not None:
                 global_arcs = int(comm.allreduce(current.num_arcs))
                 level_bytes = estimate_graph_bytes(
@@ -193,12 +226,17 @@ def parhip_program(
                 extended[: current.n_local] = contraction.coarse_constraint
                 current.halo_exchange(comm, extended)
                 current_constraint = extended
+            level_span.__exit__(None, None, None)
         phase_times["coarsening"] += comm.sim_time - t0
+        coarsen_span.set(levels=len(levels))
+        coarsen_span.__exit__(None, None, None)
 
         # ------------------------------------------------------------------
         # Initial partitioning: replicate coarsest + KaFFPaE
         # ------------------------------------------------------------------
         t0 = comm.sim_time
+        init_span = TRACER.span("initial", comm=comm, cycle=cycle)
+        init_span.__enter__()
         replica = _collect_replica(current, comm)
         if budget is not None:
             # The replica is charged with its own scale: the paper stops
@@ -240,18 +278,34 @@ def parhip_program(
         partition_local = coarsest_partition[
             current.first : current.first + current.n_local
         ]
+        if TRACER.enabled:
+            init_cut = int(edge_cut(replica, coarsest_partition))
+            init_span.set(nodes=replica.num_nodes, cut=init_cut)
+            if comm.rank == 0:
+                TRACER.event("initial.cut", cycle=cycle,
+                             nodes=replica.num_nodes, cut=init_cut)
         phase_times["initial"] += comm.sim_time - t0
+        init_span.__exit__(None, None, None)
 
         # ------------------------------------------------------------------
         # Uncoarsening with parallel LP refinement
         # ------------------------------------------------------------------
         t0 = comm.sim_time
-        for contraction in reversed(levels):
+        refine_span = TRACER.span("refinement", comm=comm, cycle=cycle)
+        refine_span.__enter__()
+        for level_idx in range(len(levels) - 1, -1, -1):
+            contraction = levels[level_idx]
             fine = contraction.fine
+            level_span = TRACER.span("uncoarsen.level", comm=comm, cycle=cycle,
+                                     level=level_idx)
+            level_span.__enter__()
             partition_local = parallel_uncoarsen(contraction, comm, partition_local)
             labels = np.zeros(fine.n_total, dtype=np.int64)
             labels[: fine.n_local] = partition_local
             fine.halo_exchange(comm, labels)
+            cut_projected: int | None = None
+            if TRACER.enabled:
+                cut_projected = distributed_edge_cut(fine, comm, labels)
             labels = parallel_label_propagation(
                 fine,
                 comm,
@@ -263,9 +317,23 @@ def parhip_program(
                 chunk_size=config.lp_chunk_size,
             )
             partition_local = labels[: fine.n_local]
+            if TRACER.enabled:
+                cut_refined = distributed_edge_cut(fine, comm, labels)
+                level_span.set(cut_projected=cut_projected,
+                               cut_refined=cut_refined)
+                if comm.rank == 0:
+                    TRACER.event(
+                        "uncoarsen.level", cycle=cycle, level=level_idx,
+                        nodes=fine.n_global, cut_projected=cut_projected,
+                        cut_refined=cut_refined,
+                    )
+                    TRACER.metrics.gauge("partition.cut").set(cut_refined)
+            level_span.__exit__(None, None, None)
             if budget is not None and level_charges:
                 budget.release(level_charges.pop())
         phase_times["refinement"] += comm.sim_time - t0
+        refine_span.__exit__(None, None, None)
+        cycle_span.__exit__(None, None, None)
 
     assert partition_local is not None
     global_partition = dgraph.gather_global(comm, partition_local)

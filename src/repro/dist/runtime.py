@@ -25,6 +25,7 @@ from typing import Any, Callable
 
 import numpy as np
 
+from ..obsv.tracer import TRACER
 from ..perf.machine import Machine
 from .comm import CommStats, World
 
@@ -156,6 +157,10 @@ def run_spmd(
                     if progress is not None
                     else "before its first collective"
                 )
+                if TRACER.enabled:
+                    last = TRACER.last_span(rank)
+                    if last is not None:
+                        where += f"; last trace span: {last}"
                 details.append(f"  rank {rank}: {where}")
             world.abort()  # break the barrier so the stuck ranks unwind
             for t in threads:

@@ -31,6 +31,7 @@ import numpy as np
 from ..dist.comm import SimComm
 from ..graph.csr import Graph
 from ..kaffpa.driver import KaffpaOptions, kaffpa_partition
+from ..obsv.tracer import TRACER
 from .combine import combine
 from .exchange import rumor_exchange
 from .mutation import mutate_perturb, mutate_vcycle
@@ -86,11 +87,13 @@ def kaffpae_partition(
     # t_p = t_1 / p: each PE builds its 1/p share of the population; the
     # global pool (what the final all-PE best draws from) keeps its size.
     local_target = max(1, -(-options.population_size // comm.size))
-    while len(population) < local_target:
-        part = kaffpa_partition(graph, k, epsilon, rng, options=options.engine)
-        population.insert(Individual.from_partition(graph, part, k, epsilon,
-                                                    objective=options.objective))
-        comm.work(_ENGINE_WORK_PER_ARC * graph.num_arcs)
+    with TRACER.span("ea.init", comm=comm, target=local_target) as init_sp:
+        while len(population) < local_target:
+            part = kaffpa_partition(graph, k, epsilon, rng, options=options.engine)
+            population.insert(Individual.from_partition(graph, part, k, epsilon,
+                                                        objective=options.objective))
+            comm.work(_ENGINE_WORK_PER_ARC * graph.num_arcs)
+        init_sp.set(best_cut=population.best().cut)
 
     # ------------------------------------------------------------------
     # Optimisation rounds: t_p = t_1 / p
@@ -99,10 +102,13 @@ def kaffpae_partition(
     # All ranks must agree on the round count (collective exchanges inside).
     local_rounds = int(comm.allreduce_max(local_rounds))
     for round_idx in range(local_rounds):
+        round_span = TRACER.span("ea.round", comm=comm, round=round_idx)
+        round_span.__enter__()
         parent_a, parent_b = population.sample_pair(rng)
         child = combine(graph, k, epsilon, rng, parent_a, parent_b,
                         options=options.engine, objective=options.objective)
-        population.insert(child)
+        child_admitted = population.insert(child)
+        round_span.set(child_cut=child.cut, child_admitted=bool(child_admitted))
         comm.work(_ENGINE_WORK_PER_ARC * graph.num_arcs)
         if rng.random() < options.mutation_probability:
             victim, _ = population.sample_pair(rng)
@@ -110,14 +116,29 @@ def kaffpae_partition(
                 mutant = mutate_vcycle(graph, k, epsilon, rng, victim,
                                        options=options.engine,
                                        objective=options.objective)
+                mutation_kind = "vcycle"
             else:
                 mutant = mutate_perturb(graph, k, epsilon, rng, victim,
                                         objective=options.objective)
-            population.insert(mutant)
+                mutation_kind = "perturb"
+            mutant_admitted = population.insert(mutant)
+            round_span.set(mutation=mutation_kind, mutant_cut=mutant.cut,
+                           mutant_admitted=bool(mutant_admitted))
             comm.work(_ENGINE_WORK_PER_ARC * graph.num_arcs)
         if (round_idx + 1) % options.exchange_period == 0:
-            rumor_exchange(comm, graph, population, k, epsilon,
-                           objective=options.objective)
+            bytes_before = comm.stats.bytes_sent
+            admitted = rumor_exchange(comm, graph, population, k, epsilon,
+                                      objective=options.objective)
+            round_span.set(exchange_admitted=int(admitted),
+                           exchange_bytes=comm.stats.bytes_sent - bytes_before)
+        if TRACER.enabled:
+            members = population.members
+            round_span.set(
+                best_cut=population.best().cut,
+                avg_cut=float(sum(m.cut for m in members) / max(1, len(members))),
+            )
+            TRACER.metrics.counter("ea.rounds").inc()
+        round_span.__exit__(None, None, None)
 
     # ------------------------------------------------------------------
     # Global best (deterministic tie-break by rank)

@@ -1,0 +1,40 @@
+"""Observability for the multilevel pipeline: tracing, metrics, reports.
+
+Stdlib-only by design — :mod:`repro.dist.comm` imports the tracer, so
+this package must sit below every other repro subsystem in the import
+graph.  See ``docs/observability.md`` for the event schema and CLI.
+"""
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .tracer import TRACER, Span, Tracer, trace_session
+from .export import (
+    read_jsonl,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .report import (
+    load_imbalance_table,
+    per_level_table,
+    per_phase_table,
+    render_report,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "TRACER",
+    "Tracer",
+    "load_imbalance_table",
+    "per_level_table",
+    "per_phase_table",
+    "read_jsonl",
+    "render_report",
+    "to_chrome_trace",
+    "trace_session",
+    "write_chrome_trace",
+    "write_jsonl",
+]

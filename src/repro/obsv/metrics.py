@@ -1,0 +1,132 @@
+"""Metrics registry: named counters, gauges and histograms.
+
+The registry is the aggregate side of :mod:`repro.obsv.tracer`: spans and
+events answer "when did what happen on which rank", metrics answer "how
+much of it happened overall".  Instruments are created on first use
+(``registry.counter("lp.moved_nodes").inc(42)``), are safe to update from
+the simulated-PE threads, and snapshot to plain dictionaries for the
+JSONL exporter and the bench harness.
+
+Everything here is stdlib-only on purpose: the tracer is imported by the
+communication layer (:mod:`repro.dist.comm`), so the observability
+package must sit below every other repro subsystem in the import graph.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """Monotonically increasing count (events, moved nodes, bytes)."""
+
+    __slots__ = ("_lock", "value")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge for deltas")
+        with self._lock:
+            self.value += amount
+
+
+class Gauge:
+    """Last-write-wins instantaneous value (level sizes, population best)."""
+
+    __slots__ = ("_lock", "value")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = float(value)
+
+
+class Histogram:
+    """Streaming summary of observations (count / sum / min / max / mean).
+
+    No buckets: the trace events already carry every raw sample, so the
+    histogram only needs to answer cheap aggregate questions without
+    replaying the event stream.
+    """
+
+    __slots__ = ("_lock", "count", "total", "min", "max")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Thread-safe name -> instrument map with one-call snapshots."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def _get(self, table: dict, name: str, factory):
+        instrument = table.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = table.setdefault(name, factory(self._lock))
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(self._counters, name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(self._gauges, name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(self._histograms, name, Histogram)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+    def snapshot(self) -> dict:
+        """Plain-dict view of every instrument (JSON-serialisable)."""
+        with self._lock:
+            return {
+                "counters": {k: c.value for k, c in sorted(self._counters.items())},
+                "gauges": {k: g.value for k, g in sorted(self._gauges.items())},
+                "histograms": {
+                    k: {
+                        "count": h.count,
+                        "sum": h.total,
+                        "min": h.min if h.count else None,
+                        "max": h.max if h.count else None,
+                        "mean": h.mean,
+                    }
+                    for k, h in sorted(self._histograms.items())
+                },
+            }

@@ -1,0 +1,226 @@
+"""Text reports over a recorded trace: the paper's per-level tables.
+
+``repro report events.jsonl`` renders three views of one session:
+
+* **per-level table** — for each V-cycle: level sizes, shrink factor per
+  cluster-contraction level, and the cut after projection / after
+  refinement on every level (the KaHIP-user-guide style table);
+* **per-phase table** — simulated and wall time per pipeline phase
+  (coarsening / initial partitioning / refinement), max over ranks;
+* **load table** — per-rank LP moves, collective counts and received
+  bytes, with a max/mean imbalance summary.
+
+Input is the JSONL stream of :func:`repro.obsv.export.write_jsonl` (or a
+live record list); the module is stdlib-only like the rest of the
+package.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Iterable
+
+__all__ = [
+    "load_imbalance_table",
+    "per_level_table",
+    "per_phase_table",
+    "render_report",
+]
+
+#: span names of the pipeline phases (parallel and sequential emit these)
+PHASES = ("coarsening", "initial", "refinement")
+
+
+def _format_table(title: str, headers: list[str], rows: list[list[str]]) -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title]
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: Any, pattern: str = "{:,}") -> str:
+    return "-" if value is None else pattern.format(value)
+
+
+def _events(records: Iterable[dict], name: str) -> list[dict]:
+    return [r for r in records if r.get("type") == "event" and r.get("name") == name]
+
+
+def _spans(records: Iterable[dict], name: str | None = None) -> list[dict]:
+    return [
+        r for r in records
+        if r.get("type") == "span" and (name is None or r.get("name") == name)
+    ]
+
+
+def _dedup_by_key(events: list[dict], *keys: str) -> dict[tuple, dict]:
+    """First event per attrs-key tuple (summary events repeat per rank)."""
+    out: dict[tuple, dict] = {}
+    for event in events:
+        attrs = event.get("attrs") or {}
+        key = tuple(attrs.get(k) for k in keys)
+        out.setdefault(key, event)
+    return out
+
+
+def per_level_table(records: Iterable[dict]) -> str:
+    """Level sizes / shrink factors / cuts, one block per V-cycle."""
+    records = list(records)
+    coarsen = _dedup_by_key(_events(records, "coarsen.level"), "cycle", "level")
+    uncoarsen = _dedup_by_key(_events(records, "uncoarsen.level"), "cycle", "level")
+    initial = _dedup_by_key(_events(records, "initial.cut"), "cycle")
+
+    cycles = sorted(
+        {k[0] for k in coarsen} | {k[0] for k in uncoarsen} | {k[0] for k in initial},
+        key=lambda c: (c is None, c),
+    )
+    if not cycles:
+        return "per-level table: no pipeline events in this trace"
+
+    blocks: list[str] = []
+    headers = ["level", "nodes", "edges", "shrink", "cut(proj)", "cut(refined)"]
+    for cycle in cycles:
+        levels = sorted(lvl for (cyc, lvl) in coarsen if cyc == cycle)
+        num = len(levels)
+        rows: list[list[str]] = []
+        # Coarsest graph first: sized by the last contraction's coarse
+        # side (or the initial event when no contraction happened).
+        init_attrs = (initial.get((cycle,)) or {}).get("attrs", {})
+        coarsest_shrink = None
+        if num:
+            last = coarsen[(cycle, levels[-1])]["attrs"]
+            coarsest_nodes, coarsest_edges = last.get("coarse_nodes"), last.get("coarse_edges")
+            coarsest_shrink = last.get("shrink")
+        else:
+            coarsest_nodes, coarsest_edges = init_attrs.get("nodes"), None
+        rows.append([
+            f"{num} (coarsest)",
+            _fmt(coarsest_nodes),
+            _fmt(coarsest_edges),
+            _fmt(coarsest_shrink, "{:.2f}x"),
+            _fmt(init_attrs.get("cut")),
+            _fmt(init_attrs.get("cut_refined", init_attrs.get("cut"))),
+        ])
+        # Then each finer graph g, sized by contraction g-1's coarse side
+        # (g = 0 is the input, sized by contraction 0's fine side), cut
+        # by the uncoarsening pass over contraction g.
+        for g in range(num - 1, -1, -1):
+            if g > 0:
+                attrs = coarsen[(cycle, g - 1)]["attrs"]
+                nodes, edges = attrs.get("coarse_nodes"), attrs.get("coarse_edges")
+                shrink = coarsen[(cycle, g - 1)].get("attrs", {}).get("shrink")
+            else:
+                attrs = coarsen[(cycle, 0)]["attrs"]
+                nodes, edges, shrink = attrs.get("fine_nodes"), attrs.get("fine_edges"), None
+            up = (uncoarsen.get((cycle, g)) or {}).get("attrs", {})
+            rows.append([
+                f"{g}" + (" (input)" if g == 0 else ""),
+                _fmt(nodes),
+                _fmt(edges),
+                _fmt(shrink, "{:.2f}x"),
+                _fmt(up.get("cut_projected")),
+                _fmt(up.get("cut_refined")),
+            ])
+        title = f"V-cycle {cycle}" if cycle is not None else "multilevel run"
+        blocks.append(_format_table(title, headers, rows))
+    return "\n\n".join(blocks)
+
+
+def per_phase_table(records: Iterable[dict]) -> str:
+    """Simulated/wall seconds per pipeline phase, summed over cycles."""
+    records = list(records)
+    sim_by_phase_rank: dict[str, dict[int, float]] = defaultdict(lambda: defaultdict(float))
+    wall_by_phase: dict[str, float] = defaultdict(float)
+    seen = False
+    for span in _spans(records):
+        if span["name"] not in PHASES:
+            continue
+        seen = True
+        rank = span.get("rank")
+        if span.get("sim_dur") is not None and rank is not None:
+            sim_by_phase_rank[span["name"]][rank] += float(span["sim_dur"])
+        if rank is None or rank == 0:
+            wall_by_phase[span["name"]] += float(span.get("wall_dur") or 0.0)
+    if not seen:
+        return "per-phase table: no phase spans in this trace"
+
+    total_sim = sum(max(r.values()) for r in sim_by_phase_rank.values()) or None
+    rows = []
+    for phase in PHASES:
+        ranks = sim_by_phase_rank.get(phase)
+        sim = max(ranks.values()) if ranks else None
+        share = (
+            f"{100.0 * sim / total_sim:.1f}%"
+            if sim is not None and total_sim
+            else "-"
+        )
+        rows.append([
+            phase,
+            _fmt(sim, "{:.6f}"),
+            share,
+            _fmt(wall_by_phase.get(phase), "{:.3f}"),
+        ])
+    return _format_table(
+        "per-phase time (sim = max over ranks, seconds)",
+        ["phase", "sim[s]", "sim share", "wall[s]"],
+        rows,
+    )
+
+
+def load_imbalance_table(records: Iterable[dict]) -> str:
+    """Per-rank LP moves and collective traffic, with max/mean imbalance."""
+    records = list(records)
+    moves: dict[int, int] = defaultdict(int)
+    colls: dict[int, int] = defaultdict(int)
+    recv_bytes: dict[int, int] = defaultdict(int)
+    for span in _spans(records):
+        rank = span.get("rank")
+        if rank is None:
+            continue
+        attrs = span.get("attrs") or {}
+        if span["name"] == "lp.iteration":
+            moves[rank] += int(attrs.get("moved") or 0)
+        elif span["name"].startswith("comm."):
+            colls[rank] += 1
+            recv_bytes[rank] += int(attrs.get("bytes") or 0)
+    ranks = sorted(set(moves) | set(colls) | set(recv_bytes))
+    if not ranks:
+        return "load table: no rank-attributed spans in this trace"
+    rows = [
+        [str(r), f"{moves.get(r, 0):,}", f"{colls.get(r, 0):,}",
+         f"{recv_bytes.get(r, 0):,}"]
+        for r in ranks
+    ]
+    table = _format_table(
+        "per-rank load",
+        ["rank", "lp moves", "collectives", "recv bytes"],
+        rows,
+    )
+    move_values = [moves.get(r, 0) for r in ranks]
+    mean = sum(move_values) / len(move_values)
+    if mean > 0:
+        table += f"\nLP move imbalance (max/mean): {max(move_values) / mean:.2f}"
+    return table
+
+
+def render_report(records: Iterable[dict]) -> str:
+    """The full ``repro report`` output for one JSONL stream."""
+    records = list(records)
+    sections = [
+        per_level_table(records),
+        per_phase_table(records),
+        load_imbalance_table(records),
+    ]
+    for record in records:
+        if record.get("type") == "metrics":
+            counters = record.get("metrics", {}).get("counters", {})
+            if counters:
+                rows = [[k, f"{v:,.0f}"] for k, v in sorted(counters.items())]
+                sections.append(_format_table("counters", ["name", "value"], rows))
+            break
+    return "\n\n".join(sections)

@@ -27,30 +27,53 @@ class HotSpot:
     cumulative_seconds: float
     internal_seconds: float
 
+    @property
+    def percall_seconds(self) -> float:
+        """Internal time per call (0 for never-called entries)."""
+        return self.internal_seconds / self.calls if self.calls else 0.0
+
 
 def profile_call(
-    fn: Callable[..., Any], *args: Any, top: int = 15, **kwargs: Any
+    fn: Callable[..., Any],
+    *args: Any,
+    top: int = 15,
+    sort: str = "cumulative",
+    **kwargs: Any,
 ) -> tuple[Any, list[HotSpot]]:
-    """Run ``fn`` under cProfile; return its result and the top hot spots."""
+    """Run ``fn`` under cProfile; return its result and the top hot spots.
+
+    ``sort`` picks the ranking: ``"cumulative"`` (default — where whole
+    call trees spend time) or ``"internal"`` (self time only — the actual
+    kernels worth vectorising, with framework glue filtered out).
+    """
+    if sort not in ("cumulative", "internal"):
+        raise ValueError(f"sort must be 'cumulative' or 'internal', got {sort!r}")
     profiler = cProfile.Profile()
     result = profiler.runcall(fn, *args, **kwargs)
     stats = pstats.Stats(profiler, stream=io.StringIO())
-    stats.sort_stats(pstats.SortKey.CUMULATIVE)
     rows: list[HotSpot] = []
     for func, (cc, nc, tt, ct, _callers) in stats.stats.items():  # type: ignore[attr-defined]
         filename, line, name = func
         label = f"{filename.rsplit('/', 1)[-1]}:{line}({name})"
         rows.append(HotSpot(label, int(nc), float(ct), float(tt)))
-    rows.sort(key=lambda r: r.cumulative_seconds, reverse=True)
+    key = (
+        (lambda r: r.internal_seconds)
+        if sort == "internal"
+        else (lambda r: r.cumulative_seconds)
+    )
+    rows.sort(key=key, reverse=True)
     return result, rows[:top]
 
 
 def hotspots(rows: list[HotSpot]) -> str:
     """Render hot spots as an aligned text table."""
-    lines = [f"{'cum[s]':>8} {'int[s]':>8} {'calls':>9}  function"]
+    lines = [
+        f"{'cum[s]':>8} {'int[s]':>8} {'percall[ms]':>12} {'calls':>9}  function"
+    ]
     for row in rows:
         lines.append(
             f"{row.cumulative_seconds:8.3f} {row.internal_seconds:8.3f} "
+            f"{row.percall_seconds * 1e3:12.4f} "
             f"{row.calls:9d}  {row.function}"
         )
     return "\n".join(lines)

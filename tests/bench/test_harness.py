@@ -79,6 +79,21 @@ class TestRunAlgorithm:
                             machine=MACHINE_A, seeds=2)
         assert row.best_cut <= row.avg_cut
 
+    def test_parhip_rows_carry_phase_times(self):
+        graph = load_instance("amazon")
+        row = run_algorithm("fast", graph, "amazon", k=2, num_pes=4,
+                            machine=MACHINE_A, seeds=1)
+        assert row.avg_phase_times is not None
+        assert set(row.avg_phase_times) == {"coarsening", "initial", "refinement"}
+        assert all(v >= 0 for v in row.avg_phase_times.values())
+        assert sum(row.avg_phase_times.values()) <= row.avg_time + 1e-9
+
+    def test_baseline_rows_have_no_phase_times(self):
+        graph = load_instance("amazon")
+        row = run_algorithm("hash", graph, "amazon", k=2, num_pes=4,
+                            machine=MACHINE_A, seeds=1)
+        assert row.avg_phase_times is None
+
     def test_unknown_algorithm(self):
         graph = rgg(8, seed=0)
         with pytest.raises(ValueError, match="unknown algorithm"):

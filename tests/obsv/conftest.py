@@ -1,0 +1,16 @@
+"""Tracer hygiene: every test leaves the global TRACER disabled and empty."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obsv import TRACER
+
+
+@pytest.fixture(autouse=True)
+def clean_tracer():
+    TRACER.disable()
+    TRACER.reset()
+    yield
+    TRACER.disable()
+    TRACER.reset()

@@ -1,0 +1,210 @@
+"""Integration tests: the instrumented pipeline under a live tracer.
+
+These run the real parallel partitioner (4 simulated PEs, sanitizer on)
+and the sequential multilevel path with tracing armed, then assert the
+recorded stream tells the same story as the returned result objects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import partition_graph
+from repro.dist.dist_partitioner import parallel_partition
+from repro.dist.runtime import SpmdDeadlockError, run_spmd
+from repro.generators import rmat
+from repro.obsv import TRACER, to_chrome_trace
+from repro.obsv.export import SIM_PID
+from repro.obsv.report import per_level_table, render_report
+
+PES = 4
+
+
+@pytest.fixture(scope="module")
+def traced_parallel_run():
+    """One traced fast-config parallel run shared by the assertions below.
+
+    ``parallel_partition`` has no sanitize flag of its own, so the
+    collective-order sanitizer is opted in via ``REPRO_SANITIZE``.
+    """
+    import os
+
+    from repro.core.config import fast_config
+
+    TRACER.disable()
+    TRACER.reset()
+    graph = rmat(10, seed=1)
+    os.environ["REPRO_SANITIZE"] = "1"
+    TRACER.enable()
+    try:
+        result = parallel_partition(graph, fast_config(k=4), num_pes=PES, seed=0)
+    finally:
+        TRACER.disable()
+        os.environ.pop("REPRO_SANITIZE", None)
+    records = TRACER.snapshot()
+    # what write_jsonl would append: the final metrics snapshot line
+    records.append({"type": "metrics", "metrics": TRACER.metrics.snapshot()})
+    yield graph, result, records
+    TRACER.reset()
+
+
+def _events(records, name):
+    return [r for r in records if r["type"] == "event" and r["name"] == name]
+
+
+def _spans(records, name=None):
+    return [
+        r for r in records
+        if r["type"] == "span" and (name is None or r["name"] == name)
+    ]
+
+
+class TestParallelPipelineEvents:
+    def test_coarsen_events_match_coarse_sizes(self, traced_parallel_run):
+        _graph, result, records = traced_parallel_run
+        events = _events(records, "coarsen.level")
+        # one summary event per contraction level per cycle (rank 0 only)
+        assert len(events) == len(result.coarse_sizes)
+        assert [e["attrs"]["coarse_nodes"] for e in events] == list(result.coarse_sizes)
+        for e in events:
+            assert e["attrs"]["shrink"] == pytest.approx(
+                e["attrs"]["fine_nodes"] / e["attrs"]["coarse_nodes"]
+            )
+
+    def test_final_refined_cut_matches_result(self, traced_parallel_run):
+        _graph, result, records = traced_parallel_run
+        events = _events(records, "uncoarsen.level")
+        assert events
+        last_cycle = max(e["attrs"]["cycle"] for e in events)
+        final = [
+            e for e in events
+            if e["attrs"]["cycle"] == last_cycle and e["attrs"]["level"] == 0
+        ]
+        assert len(final) == 1
+        assert final[0]["attrs"]["cut_refined"] == result.cut
+
+    def test_initial_cut_events_per_cycle(self, traced_parallel_run):
+        _graph, _result, records = traced_parallel_run
+        events = _events(records, "initial.cut")
+        cycles = {e["attrs"]["cycle"] for e in events}
+        assert len(events) == len(cycles)  # exactly one per cycle (rank 0)
+
+    def test_chrome_trace_has_one_track_per_rank(self, traced_parallel_run):
+        _graph, _result, records = traced_parallel_run
+        trace = to_chrome_trace(records)
+        sim_tracks = {
+            e["tid"] for e in trace["traceEvents"]
+            if e["pid"] == SIM_PID and e["ph"] == "X"
+        }
+        assert sim_tracks == set(range(PES))
+
+    def test_every_rank_emits_pipeline_spans(self, traced_parallel_run):
+        _graph, _result, records = traced_parallel_run
+        for name in ("vcycle", "coarsening", "initial", "refinement",
+                     "lp.iteration", "contract"):
+            ranks = {r["rank"] for r in _spans(records, name)}
+            assert ranks == set(range(PES)), name
+
+    def test_collective_spans_tagged(self, traced_parallel_run):
+        _graph, _result, records = traced_parallel_run
+        comm_spans = [s for s in _spans(records) if s["name"].startswith("comm.")]
+        assert comm_spans
+        for s in comm_spans[:200]:
+            assert s["name"] == "comm." + s["attrs"]["op"]
+            assert s["attrs"]["seq"] >= 1
+            assert s["attrs"]["bytes"] >= 0
+            assert s["sim_ts"] is not None
+
+    def test_lp_iteration_spans_carry_moves(self, traced_parallel_run):
+        _graph, _result, records = traced_parallel_run
+        lp = _spans(records, "lp.iteration")
+        assert lp
+        assert all("moved" in s["attrs"] for s in lp)
+        assert any(s["attrs"]["moved"] > 0 for s in lp)
+        assert {s["attrs"]["mode"] for s in lp} <= {"cluster", "refine"}
+
+    def test_report_matches_returned_metrics(self, traced_parallel_run):
+        _graph, result, records = traced_parallel_run
+        table = per_level_table(records)
+        assert f"{result.cut:,}" in table
+        full = render_report(records)
+        for section in ("V-cycle 0", "per-phase time", "per-rank load", "counters"):
+            assert section in full
+
+
+class TestPerOpCommStats:
+    def test_breakdown_sums_to_aggregates(self):
+        def program(comm):
+            comm.barrier()
+            comm.allreduce(comm.rank)
+            comm.allgather(comm.rank)
+            comm.bcast("payload" if comm.rank == 0 else None, root=0)
+            comm.alltoall([np.arange(4, dtype=np.int64)] * comm.size)
+            comm.alltoall([np.arange(2, dtype=np.int64)] * comm.size)
+            return dict(comm.stats.per_op), comm.stats.collectives, comm.stats.bytes_sent
+
+        res = run_spmd(PES, program, seed=0, sanitize=True)
+        for per_op, collectives, bytes_sent in res.per_rank:
+            assert sum(c for c, _b in per_op.values()) == collectives
+            assert sum(b for _c, b in per_op.values()) == bytes_sent
+            assert per_op["alltoall"][0] == 2
+            assert per_op["alltoall"][1] == bytes_sent > 0
+            assert per_op["barrier"] == (1, 0)
+
+    def test_partitioner_run_keeps_identity(self, traced_parallel_run):
+        # the real pipeline exercises every collective; the recorded comm
+        # spans must agree with the per-rank span counts in the stream
+        _graph, _result, records = traced_parallel_run
+        per_rank = {}
+        for s in records:
+            if s["type"] == "span" and s["name"].startswith("comm."):
+                per_rank[s["rank"]] = per_rank.get(s["rank"], 0) + 1
+        assert set(per_rank) == set(range(PES))
+        # SPMD: every rank executed the same number of collectives
+        assert len(set(per_rank.values())) == 1
+
+
+class TestWatchdogTraceContext:
+    def test_deadlock_error_names_last_span(self):
+        TRACER.enable()
+
+        def program(comm):
+            if comm.rank != 0:
+                with TRACER.span("stuck.section", comm=comm, detail=7):
+                    comm.barrier()  # rank 0 never joins
+            return None
+
+        try:
+            with pytest.raises(SpmdDeadlockError) as exc_info:
+                run_spmd(PES, program, seed=0, timeout=2.0)
+        finally:
+            TRACER.disable()
+        message = str(exc_info.value)
+        assert "last trace span: stuck.section(detail=7)" in message
+
+
+class TestSequentialPipelineEvents:
+    def test_sequential_run_emits_rankless_events(self):
+        graph = rmat(9, seed=2)
+        TRACER.enable()
+        try:
+            result = partition_graph(graph, k=4, preset="minimal", num_pes=1, seed=0)
+        finally:
+            TRACER.disable()
+        records = TRACER.snapshot()
+        coarsen = _events(records, "coarsen.level")
+        uncoarsen = _events(records, "uncoarsen.level")
+        assert coarsen and uncoarsen
+        assert all(e["rank"] is None for e in coarsen + uncoarsen)
+        # levels pair up: every contraction is undone exactly once per cycle
+        assert {(e["attrs"]["cycle"], e["attrs"]["level"]) for e in coarsen} == \
+            {(e["attrs"]["cycle"], e["attrs"]["level"]) for e in uncoarsen}
+        final_cycle = max(e["attrs"]["cycle"] for e in uncoarsen)
+        final = [e for e in uncoarsen
+                 if e["attrs"]["cycle"] == final_cycle and e["attrs"]["level"] == 0]
+        # last cycle's level-0 refined cut can only be improved by the
+        # best-of-cycles rule, never worsened
+        assert final[0]["attrs"]["cut_refined"] >= result.cut
+        table = per_level_table(records)
+        assert "V-cycle 0" in table

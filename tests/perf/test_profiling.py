@@ -29,7 +29,26 @@ class TestProfiling:
         _, rows = profile_call(busy, 1000)
         table = hotspots(rows)
         assert "cum[s]" in table
+        assert "percall[ms]" in table
         assert "busy" in table
+
+    def test_sort_internal(self):
+        _, rows = profile_call(busy, 10_000, sort="internal")
+        ints = [r.internal_seconds for r in rows]
+        assert ints == sorted(ints, reverse=True)
+
+    def test_sort_rejects_unknown_key(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="sort"):
+            profile_call(busy, 100, sort="calls")
+
+    def test_percall_property(self):
+        from repro.perf import HotSpot
+
+        row = HotSpot("f", 4, 1.0, 0.2)
+        assert row.percall_seconds == 0.05
+        assert HotSpot("g", 0, 0.0, 0.0).percall_seconds == 0.0
 
     def test_profiles_the_partitioner(self):
         from repro import partition_graph
