@@ -83,6 +83,12 @@ class PartitionConfig:
     #: scan); ``None`` defers to ``REPRO_LP_CHUNK``, then the kernel
     #: default (see repro.core.lp_kernels)
     lp_chunk_size: int | None = None
+    #: sweep selector for the chunked LP kernels: ``'full'`` rescans every
+    #: node each iteration, ``'frontier'`` only the active set (label-
+    #: identical per iteration, faster once labels converge); ``None``
+    #: defers to ``REPRO_LP_FRONTIER``, then the engine default
+    #: (frontier for chunk sizes > 1)
+    lp_engine: str | None = None
     name: str = "fast"
 
     def __post_init__(self) -> None:
@@ -92,6 +98,8 @@ class PartitionConfig:
             raise ValueError("epsilon must be >= 0")
         if self.num_vcycles < 1:
             raise ValueError("need at least one V-cycle")
+        if self.lp_engine not in (None, "full", "frontier"):
+            raise ValueError("lp_engine must be None, 'full' or 'frontier'")
 
     def cluster_factor(self, vcycle: int, social: bool, rng: np.random.Generator) -> float:
         """The size-constraint factor f for a given V-cycle and graph class."""

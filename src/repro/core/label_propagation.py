@@ -48,15 +48,22 @@ import numpy as np
 from ..graph.csr import Graph
 from ..obsv.tracer import TRACER
 from .lp_kernels import (
+    FRONTIER_ENGINE,
+    FRONTIER_FULL_SWEEP_FRACTION,
+    FULL_ENGINE,
     SCAN_ENGINE,
     aggregate_candidates,
+    candidate_tie_hash,
     capped_inflow_mask,
     chunk_ranges,
     effective_chunk,
+    gather_neighbors,
     make_tie_breaker,
     pick_targets,
+    pick_targets_hashed,
     plan_chunk,
     resolve_chunk_size,
+    resolve_engine,
 )
 
 __all__ = [
@@ -117,6 +124,7 @@ def size_constrained_label_propagation(
     refine: bool = False,
     constraint: np.ndarray | None = None,
     chunk_size: int | None = None,
+    engine: str | None = None,
 ) -> np.ndarray:
     """Run the size-constrained label-propagation engine.
 
@@ -136,6 +144,13 @@ def size_constrained_label_propagation(
         Engine selector: ``0`` = node-at-a-time scan, ``>= 1`` = chunked
         kernels (``1`` is bit-identical to the scan); ``None`` defers to
         ``REPRO_LP_CHUNK`` and the built-in default.
+    engine:
+        Sweep selector for the chunked kernels: ``'full'`` rescans every
+        node each iteration, ``'frontier'`` only the active set (label-
+        identical, faster once labels converge); ``None`` defers to
+        ``REPRO_LP_FRONTIER``, defaulting to ``frontier`` at
+        ``chunk_size > 1`` and ``full`` at the bit-exact
+        ``chunk_size == 1``.  Ignored by the scan engine.
 
     Returns
     -------
@@ -164,6 +179,14 @@ def size_constrained_label_propagation(
             refine,
             constraint,
             chunk,
+            resolve_engine(
+                engine, default=FRONTIER_ENGINE if chunk > 1 else FULL_ENGINE
+            ),
+        )
+    if engine == FRONTIER_ENGINE:
+        raise ValueError(
+            "the frontier engine requires the chunked kernels "
+            "(chunk_size >= 1); chunk_size=0 selects the scan engine"
         )
 
     num_labels = (max(label_list) + 1) if label_list else 0
@@ -275,6 +298,7 @@ def _chunked_lp(
     refine: bool,
     constraint: np.ndarray | None,
     chunk: int,
+    engine: str,
 ) -> np.ndarray:
     """Chunked-kernel variant of the sequential engine (same semantics).
 
@@ -284,6 +308,12 @@ def _chunked_lp(
     bound holds exactly despite the snapshot.  At ``chunk == 1`` the
     snapshot is always live and every branch matches the scan bit for
     bit, including the tie-RNG stream.
+
+    The frontier engine filters each iteration's scan to the active set
+    *inside* the full visit-order chunk windows, so commit points (and
+    the weight snapshots every scanned node sees) line up exactly with
+    the full sweep; with the hash tie-break the labels after every
+    iteration are identical — only the skipped work differs.
     """
     labels = labels.copy()
     n = graph.num_nodes
@@ -297,12 +327,16 @@ def _chunked_lp(
     constraint_arr = (
         None if constraint is None else np.asarray(constraint, dtype=np.int64)
     )
-    tie_rng = make_tie_breaker(int(rng.integers(0, 2**63 - 1)), chunk)
+    tie_seed = int(rng.integers(0, 2**63 - 1))
+    frontier_mode = engine == FRONTIER_ENGINE
+    hashed = frontier_mode or chunk > 1
+    tie_rng = None if hashed else make_tie_breaker(tie_seed, chunk)
     sentinel = np.iinfo(np.int64).max
 
     # Degree order is phase-invariant (and consumes no randomness), so
     # the per-chunk arc structure can be planned once and re-aggregated
-    # every phase; random order needs fresh plans per phase.
+    # every phase; random order needs fresh plans per phase, and the
+    # frontier engine re-plans any window it filters.
     plan_cache: dict[tuple[int, int], object] = {}
 
     def chunk_plan(nodes, lo, hi):
@@ -316,9 +350,10 @@ def _chunked_lp(
             )
         return plan
 
+    active_set = np.ones(n, dtype=bool)
     for _iter in range(max(0, iterations)):
         lp_span = TRACER.span(
-            "lp.iteration", engine="chunked",
+            "lp.iteration", engine=engine,
             mode="refine" if refine else "cluster", iteration=_iter,
             chunk_size=chunk, constrained=constraint is not None,
         )
@@ -328,21 +363,52 @@ def _chunked_lp(
             # Isolated nodes never move in clustering mode; drop them so
             # chunks are all-kernel work.
             order = order[degrees[order] > 0]
+        if frontier_mode and refine:
+            over = np.flatnonzero(weight > bound)
+            if over.size:
+                # Eviction pressure reaches over-budget blocks' members
+                # even when their neighbourhood never changed.
+                active_set |= np.isin(labels, over)
         moved = 0
         n_chunks = 0
+        scanned = 0
+        next_active = np.zeros(n, dtype=bool)
+        # Scanning a superset of the active set is label-identical, so
+        # with cached degree-order plans the filtered re-plans only pay
+        # for themselves below ~half activity; random order re-plans
+        # every phase anyway, making filtering a pure win.
+        filtering = frontier_mode and (
+            ordering != "degree"
+            or order.size == 0
+            or active_set[order].mean() < FRONTIER_FULL_SWEEP_FRACTION
+        )
         for lo, hi in chunk_ranges(order.size, effective_chunk(chunk, order.size)):
             n_chunks += 1
             nodes = order[lo:hi]
+            full_window = True
+            if filtering:
+                live = active_set[nodes]
+                if not live.all():
+                    full_window = False
+                    nodes = nodes[live]
+                    if nodes.size == 0:
+                        continue
+            scanned += int(nodes.size)
             if refine:
-                active = nodes[degrees[nodes] > 0]
+                connected = nodes[degrees[nodes] > 0]
             else:
-                active = nodes
-            if active.size:
-                own = labels[active]
-                c_v = vwgt[active]
+                connected = nodes
+            if connected.size:
+                own = labels[connected]
+                c_v = vwgt[connected]
+                plan = (
+                    chunk_plan(connected, lo, hi)
+                    if full_window
+                    else plan_chunk(connected, xadj, adjncy, adjwgt, constraint_arr)
+                )
                 cands = aggregate_candidates(
-                    chunk_plan(active, lo, hi), labels, num_labels,
-                    exact_order=chunk == 1,
+                    plan, labels, num_labels,
+                    exact_order=not hashed and chunk == 1,
                 )
                 fits = weight[cands.labels] + c_v[cands.node_pos] <= bound
                 if refine:
@@ -350,24 +416,42 @@ def _chunked_lp(
                     eligible = np.where(cands.is_own, ~evicting[cands.node_pos], fits)
                 else:
                     eligible = cands.is_own | fits
-                choice = pick_targets(cands, eligible, tie_rng)
+                if hashed:
+                    tie_hash = candidate_tie_hash(
+                        tie_seed, connected[cands.node_pos], cands.labels
+                    )
+                    choice, risky = pick_targets_hashed(cands, eligible, tie_hash)
+                    if frontier_mode and risky.any():
+                        next_active[connected[risky]] = True
+                else:
+                    choice = pick_targets(cands, eligible, tie_rng)
                 has = choice >= 0
                 target = own.copy()
                 target[has] = cands.labels[choice[has]]
                 moving = np.flatnonzero(target != own)
                 if moving.size:
-                    m_nodes, m_own = active[moving], own[moving]
+                    m_nodes, m_own = connected[moving], own[moving]
                     m_target, m_c = target[moving], c_v[moving]
                     keep = capped_inflow_mask(
                         m_target, m_c, weight[m_target],
                         np.full(m_target.size, bound, dtype=np.int64),
                     )
+                    if frontier_mode and not keep.all():
+                        # A capped node may succeed once the target drains.
+                        next_active[m_nodes[~keep]] = True
                     m_nodes, m_own = m_nodes[keep], m_own[keep]
                     m_target, m_c = m_target[keep], m_c[keep]
                     np.subtract.at(weight, m_own, m_c)
                     np.add.at(weight, m_target, m_c)
                     labels[m_nodes] = m_target
                     moved += int(m_nodes.size)
+                    if frontier_mode and m_nodes.size:
+                        next_active[m_nodes] = True
+                        nbrs = gather_neighbors(m_nodes, xadj, adjncy)
+                        next_active[nbrs] = True
+                        # Later windows of this iteration must rescan the
+                        # movers' neighbours too.
+                        active_set[nbrs] = True
             if refine:
                 # Isolated nodes: balance repair against the live weights
                 # (rare; matches the scan's first-minimal choice).
@@ -385,11 +469,16 @@ def _chunked_lp(
                     weight[b] += c
                     labels[v] = b
                     moved += 1
-        lp_span.set(moved=moved, chunks=n_chunks)
+                    if frontier_mode:
+                        next_active[v] = True
+        lp_span.set(moved=moved, chunks=n_chunks, active=scanned,
+                    frontier_frac=round(scanned / max(1, order.size), 4))
         if TRACER.enabled:
             TRACER.metrics.counter("lp.iterations").inc()
             TRACER.metrics.counter("lp.moved_nodes").inc(moved)
         lp_span.__exit__(None, None, None)
+        if frontier_mode:
+            active_set = next_active
         if moved == 0:
             break
     return labels
@@ -403,6 +492,7 @@ def label_propagation_clustering(
     ordering: str = "degree",
     constraint: np.ndarray | None = None,
     chunk_size: int | None = None,
+    engine: str | None = None,
 ) -> np.ndarray:
     """Compute a size-constrained clustering (coarsening use, Section III-A).
 
@@ -420,6 +510,7 @@ def label_propagation_clustering(
         refine=False,
         constraint=constraint,
         chunk_size=chunk_size,
+        engine=engine,
     )
 
 
@@ -432,6 +523,7 @@ def label_propagation_refinement(
     constraint: np.ndarray | None = None,
     band_distance: int | None = None,
     chunk_size: int | None = None,
+    engine: str | None = None,
 ) -> np.ndarray:
     """Improve a partition with label propagation (refinement use).
 
@@ -455,6 +547,7 @@ def label_propagation_refinement(
             refine=True,
             constraint=constraint,
             chunk_size=chunk_size,
+            engine=engine,
         )
     # Band mode: same engine and exact global block weights, but only the
     # band nodes are visited — non-band nodes contribute to weights and

@@ -34,7 +34,28 @@ chunking applies the same idea within a PE's own scan.
 
 Engine selection: ``resolve_chunk_size`` maps an explicit value, the
 ``REPRO_LP_CHUNK`` environment variable, or the built-in default to a
-chunk size; ``0`` selects the legacy scalar scan.
+chunk size; ``0`` selects the legacy scalar scan.  Orthogonally,
+``resolve_engine`` picks between the ``full`` sweep (every phase scans
+every node) and the ``frontier`` engine (phases after the first rescan
+only the *active set*), honouring ``REPRO_LP_FRONTIER``.
+
+The frontier engine is label-identical to the full sweep per iteration.
+That hinges on the hash tie-break (:func:`candidate_tie_hash`): because
+a node's decision is a pure function of its neighbourhood snapshot —
+no shared RNG stream advanced per visit — scanning *fewer* nodes cannot
+perturb the decisions of the nodes that are scanned.  It remains to
+show a skipped node would not have moved, which
+:func:`pick_targets_hashed` makes checkable at scan time: alongside the
+chosen candidate it flags nodes as *risky* when some ineligible label
+ties or beats the choice.  For an unflagged stay-put node the choice is
+an argmax over ``(strength, hash)`` in which every potential winner was
+eligible and lost to the own label; eligibility of losers can only
+flip between phases if weights change, and a flip from ineligible to
+eligible matters only for the flagged labels — so while the node's
+neighbourhood is label-stable, its decision is provably ``stay``.  The
+active set therefore needs exactly: last phase's movers and their
+neighbours, nodes whose ghost neighbours changed, risky/capped nodes,
+and (refine mode) members of over-budget blocks.
 """
 
 from __future__ import annotations
@@ -48,15 +69,22 @@ import numpy as np
 __all__ = [
     "DEFAULT_CHUNK_SIZE",
     "SCAN_ENGINE",
+    "FULL_ENGINE",
+    "FRONTIER_ENGINE",
+    "FRONTIER_FULL_SWEEP_FRACTION",
     "resolve_chunk_size",
+    "resolve_engine",
     "effective_chunk",
     "make_tie_breaker",
+    "candidate_tie_hash",
     "ChunkCandidates",
     "ChunkPlan",
     "plan_chunk",
     "aggregate_candidates",
     "gather_candidates",
+    "gather_neighbors",
     "pick_targets",
+    "pick_targets_hashed",
     "capped_inflow_mask",
     "chunk_ranges",
 ]
@@ -68,6 +96,19 @@ DEFAULT_CHUNK_SIZE = 1024
 
 #: sentinel chunk size selecting the legacy node-at-a-time scan engine
 SCAN_ENGINE = 0
+
+#: sweep engine: every phase scans every (eligible) local node
+FULL_ENGINE = "full"
+
+#: active-set engine: phases after the first rescan only the frontier
+FRONTIER_ENGINE = "frontier"
+
+#: above this active fraction a frontier phase scans the full visit
+#: order with the prebuilt window plans instead of filtering — scanning
+#: a superset of the active set is label-identical (the extra nodes are
+#: provably stay-put stable) and the filtered re-plans roughly double
+#: the per-arc cost, so filtering only pays below ~half activity
+FRONTIER_FULL_SWEEP_FRACTION = 0.5
 
 #: minimum bookkeeping refreshes per phase at chunk sizes > 1 — a fully
 #: synchronous update (one chunk covering the whole scan) oscillates on
@@ -107,6 +148,33 @@ def resolve_chunk_size(
     return value if value >= 0 else default
 
 
+def resolve_engine(
+    explicit: str | None = None, default: str = FRONTIER_ENGINE
+) -> str:
+    """Resolve the sweep-engine selector to ``full`` or ``frontier``.
+
+    ``explicit`` wins when given.  Otherwise ``REPRO_LP_FRONTIER`` is
+    consulted (truthy values select the frontier engine, falsy the full
+    sweep), with empty/unknown values falling back to ``default``.  The
+    chunked engines pass ``default=FULL_ENGINE`` at ``chunk_size <= 1``
+    — the bit-exact scan contract pins the RNG tie-break there, which
+    the frontier engine replaces with the hash tie-break.
+    """
+    if explicit is not None:
+        if explicit not in (FULL_ENGINE, FRONTIER_ENGINE):
+            raise ValueError(
+                f"lp engine must be {FULL_ENGINE!r} or {FRONTIER_ENGINE!r}, "
+                f"got {explicit!r}"
+            )
+        return explicit
+    raw = os.environ.get("REPRO_LP_FRONTIER", "").strip().lower()
+    if raw in {"1", "true", "yes", "on", FRONTIER_ENGINE}:
+        return FRONTIER_ENGINE
+    if raw in {"0", "false", "no", "off", FULL_ENGINE}:
+        return FULL_ENGINE
+    return default
+
+
 def effective_chunk(chunk: int, n_scan: int) -> int:
     """Cap a requested chunk size for a phase scanning ``n_scan`` nodes.
 
@@ -129,6 +197,35 @@ def make_tie_breaker(seed: int, chunk_size: int):
     if chunk_size == 1:
         return _pyrandom.Random(seed)
     return np.random.default_rng(seed)
+
+
+_MIX_A = np.uint64(0x9E3779B97F4A7C15)
+_MIX_B = np.uint64(0xBF58476D1CE4E5B9)
+_MIX_C = np.uint64(0x94D049BB133111EB)
+_MIX_D = np.uint64(0xFF51AFD7ED558CCD)
+_SHIFT = np.uint64(33)
+
+
+def candidate_tie_hash(
+    seed: int, nodes: np.ndarray, labels: np.ndarray
+) -> np.ndarray:
+    """Stateless per-``(seed, node, label)`` tie-break priorities.
+
+    A splitmix64-style avalanche over the candidate's node id and label.
+    Unlike a shared RNG stream, the value a candidate receives does not
+    depend on which other nodes are visited or in which phase — the
+    property that makes frontier scans decision-identical to full
+    sweeps.  Ties on the hash itself (vanishingly rare) fall back to the
+    candidates' deterministic order in :func:`pick_targets_hashed`.
+    """
+    x = nodes.astype(np.uint64) * _MIX_A
+    x ^= labels.astype(np.uint64) + _MIX_B + (np.uint64(seed) << np.uint64(1))
+    x ^= x >> _SHIFT
+    x *= _MIX_D
+    x ^= x >> _SHIFT
+    x *= _MIX_C
+    x ^= x >> _SHIFT
+    return x
 
 
 def chunk_ranges(n: int, chunk_size: int):
@@ -215,6 +312,23 @@ def plan_chunk(
     return ChunkPlan(
         nodes=nodes, own_pos=node_pos, nbr=nbr, wgt=wgt, arcs_scanned=total
     )
+
+
+def gather_neighbors(
+    nodes: np.ndarray, xadj: np.ndarray, adjncy: np.ndarray
+) -> np.ndarray:
+    """Concatenated CSR adjacency of ``nodes`` (one vectorised gather).
+
+    The frontier engines use this to turn a set of movers into the set
+    of nodes whose decision inputs changed.  Duplicates are returned as
+    stored; callers scatter into boolean masks, so dedup is implicit.
+    """
+    nodes = np.asarray(nodes, dtype=np.int64)
+    begins = xadj[nodes]
+    counts = (xadj[nodes + 1] - begins).astype(np.int64)
+    total = int(counts.sum())
+    arc_idx = np.repeat(begins, counts) + _segment_local_arange(counts, total)
+    return adjncy[arc_idx]
 
 
 def aggregate_candidates(
@@ -344,6 +458,64 @@ def pick_targets(cands: ChunkCandidates, eligible: np.ndarray, tie_rng) -> np.nd
     sel = np.flatnonzero(chosen)
     choice[cands.node_pos[sel]] = sel
     return choice
+
+
+def pick_targets_hashed(
+    cands: ChunkCandidates, eligible: np.ndarray, tie_hash: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Masked argmax with hash tie-breaking, plus a *risky* flag per node.
+
+    The counterpart of :func:`pick_targets` for the frontier-capable
+    engines: ties among the strongest eligible labels go to the largest
+    :func:`candidate_tie_hash` value (hash collisions fall back to the
+    first candidate in aggregation order), so the decision is a pure
+    function of the node's ``(label, strength, eligibility)`` snapshot —
+    no RNG stream is consumed and visiting fewer nodes cannot shift
+    other nodes' draws.
+
+    Returns ``(choice, risky)``.  ``choice`` is as in
+    :func:`pick_targets`.  ``risky[i]`` is set when some *ineligible*
+    candidate of node ``i`` would *win* were it eligible: its strength
+    strictly beats the eligible optimum, or matches it and beats the
+    winner's tie hash (the hash order is phase-invariant, so an
+    equality-tie that loses it today loses it in every rescan).  Only
+    for risky nodes can an eligibility flip (a label regaining
+    capacity) alter the decision while the neighbourhood's labels stay
+    put, so un-risky stay-put nodes may safely leave the frontier.
+    """
+    n_chunk = cands.seg_start.size
+    choice = np.full(n_chunk, -1, dtype=np.int64)
+    risky = np.zeros(n_chunk, dtype=bool)
+    if cands.node_pos.size == 0:
+        return choice, risky
+    eff = np.where(eligible, cands.strength, np.int64(-1))
+    seg_max = np.maximum.reduceat(eff, cands.seg_start)
+    node_max = seg_max[cands.node_pos]
+
+    best = eligible & (cands.strength == node_max)
+    h_eff = np.where(best, tie_hash, np.uint64(0))
+    seg_hmax = np.maximum.reduceat(h_eff, cands.seg_start)
+    winner = best & (h_eff == seg_hmax[cands.node_pos])
+    idx = np.arange(cands.node_pos.size, dtype=np.int64)
+    idx_eff = np.where(winner, idx, np.int64(np.iinfo(np.int64).max))
+    seg_first = np.minimum.reduceat(idx_eff, cands.seg_start)
+    has = seg_max >= 0
+    choice[has] = seg_first[has]
+
+    # A node with no eligible candidate at all stays risky for every
+    # ineligible one (any flip hands that label the win outright).
+    danger = (~eligible) & (
+        (cands.strength > node_max)
+        | (
+            # >= : an exact hash collision falls back to aggregation
+            # order, which an eligibility flip could tip — keep it risky
+            (cands.strength == node_max)
+            & (tie_hash >= seg_hmax[cands.node_pos])
+        )
+        | ~has[cands.node_pos]
+    )
+    risky = np.add.reduceat(danger.astype(np.int64), cands.seg_start) > 0
+    return choice, risky
 
 
 def capped_inflow_mask(

@@ -447,17 +447,25 @@ class SimComm:
         values = self._collect(value, lambda vals: 8, op="exscan")
         return type(value)(sum(values[: self.rank]))
 
-    def alltoall(self, per_destination: Sequence[Any]) -> list[Any]:
+    def alltoall(
+        self, per_destination: Sequence[Any], tag: str | None = None
+    ) -> list[Any]:
         """Personalised all-to-all: element ``i`` goes to rank ``i``.
 
         Returns the list of payloads received, indexed by source rank.
+        ``tag`` optionally refines the per-op stats key (and trace span)
+        to ``alltoall[tag]``, so hot exchanges — the LP interface delta,
+        the halo refresh — stay distinguishable in ``CommStats.per_op``
+        without touching the aggregate counters.  Tags must be uniform
+        across ranks (they participate in the sanitizer's order check).
         """
         if len(per_destination) != self.size:
             raise ValueError("alltoall needs exactly one payload per rank")
+        op = "alltoall" if tag is None else f"alltoall[{tag}]"
         rows = self._collect(
             list(per_destination),
             lambda vals: sum(payload_bytes(row[self.rank]) for row in vals),
-            op="alltoall",
+            op=op,
         )
         self.stats.messages_sent += sum(
             1 for dest, payload in enumerate(per_destination)
@@ -467,7 +475,7 @@ class SimComm:
             payload_bytes(p) for d, p in enumerate(per_destination) if d != self.rank
         )
         self.stats.bytes_sent += sent_bytes
-        self.stats.record_op("alltoall", nbytes=sent_bytes)
+        self.stats.record_op(op, nbytes=sent_bytes)
         return [rows[src][self.rank] for src in range(self.size)]
 
     # ------------------------------------------------------------------

@@ -270,6 +270,29 @@ class DistGraph:
             return 0.0
         return float((self.adjncy >= self.n_local).sum() / self.num_arcs)
 
+    def ghost_sources(self) -> tuple[np.ndarray, np.ndarray]:
+        """Reverse CSR: ghost slot -> owned nodes with an arc to that ghost.
+
+        Returns ``(gxadj, gsrc)`` with the owned sources of ghost slot
+        ``g`` (0-based, i.e. local id minus ``n_local``) at
+        ``gsrc[gxadj[g]:gxadj[g + 1]]``.  The frontier LP engine uses it
+        to activate the local neighbours of ghosts whose labels changed.
+        Built lazily from the adjacency on first use and cached (the
+        arrays are immutable per level).
+        """
+        cached = self.__dict__.get("_ghost_sources_cache")
+        if cached is not None:
+            return cached
+        ghost_arcs = self.adjncy >= self.n_local
+        slots = self.adjncy[ghost_arcs] - self.n_local
+        srcs = self.arc_sources()[ghost_arcs]
+        order = np.argsort(slots, kind="stable")
+        gxadj = np.zeros(self.n_ghost + 1, dtype=np.int64)
+        np.cumsum(np.bincount(slots, minlength=self.n_ghost), out=gxadj[1:])
+        cached = (gxadj, srcs[order])
+        self.__dict__["_ghost_sources_cache"] = cached
+        return cached
+
     # ------------------------------------------------------------------
     # Halo exchange
     # ------------------------------------------------------------------
@@ -282,7 +305,7 @@ class DistGraph:
         per_dest: list[np.ndarray | None] = [None] * comm.size
         for q, nodes in zip(self.send_ranks.tolist(), self.send_nodes):
             per_dest[q] = values[nodes]
-        received = comm.alltoall(per_dest)
+        received = comm.alltoall(per_dest, tag="halo")
         for q, ghosts in zip(self.send_ranks.tolist(), self.recv_ghosts):
             payload = received[q]
             if payload is not None:

@@ -53,18 +53,37 @@ def _interval_owner(ids: np.ndarray, n_global: int, size: int) -> np.ndarray:
     return (np.searchsorted(bounds, ids, side="right") - 1).astype(np.int64)
 
 
+def _owner_split(
+    owners: np.ndarray, size: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Destination bucketing in one pass: a stable argsort of ``owners``
+    plus the per-destination slice bounds into the sorted order.
+
+    ``sorted[bounds[q]:bounds[q + 1]]`` equals the elements owned by PE
+    ``q`` in their original relative order — the same buckets ``p``
+    boolean-mask scans would produce, without the ``O(p * n)`` rescans.
+    """
+    order = np.argsort(owners, kind="stable")
+    bounds = np.searchsorted(owners, np.arange(size + 1), sorter=order)
+    return order, bounds
+
+
 def _exchange_by_owner(
     comm: SimComm, ids: np.ndarray, owners: np.ndarray
-) -> tuple[list[np.ndarray], list[np.ndarray]]:
-    """Ship each id to its owner; returns (received_per_source, sent_per_dest)."""
-    sent: list[np.ndarray] = []
-    per_dest: list[object] = [None] * comm.size
-    for q in range(comm.size):
-        chunk = ids[owners == q]
-        sent.append(chunk)
-        per_dest[q] = chunk
+) -> tuple[list[np.ndarray], np.ndarray]:
+    """Ship each id to its owner; returns (received_per_source, send_order).
+
+    ``send_order`` is the stable permutation that groups ``ids`` by
+    destination; callers scatter per-owner answers back with
+    ``result[send_order] = concatenate(answers)``.
+    """
+    order, bounds = _owner_split(owners, comm.size)
+    shuffled = ids[order]
+    per_dest: list[object] = [
+        shuffled[bounds[q]: bounds[q + 1]] for q in range(comm.size)
+    ]
     received = comm.alltoall(per_dest)
-    return [np.asarray(r, dtype=np.int64) for r in received], sent
+    return [np.asarray(r, dtype=np.int64) for r in received], order
 
 
 def lookup_coarse_values(
@@ -82,16 +101,14 @@ def lookup_coarse_values(
     owners = (np.searchsorted(vtxdist, queries, side="right") - 1).astype(np.int64)
     first = int(vtxdist[comm.rank])
 
-    requests, sent = _exchange_by_owner(comm, queries, owners)
+    requests, send_order = _exchange_by_owner(comm, queries, owners)
     responses: list[object] = [None] * comm.size
     for q, req in enumerate(requests):
         responses[q] = local_values[req - first] if req.size else req
     answered = comm.alltoall(responses)
 
     result = np.empty(queries.size, dtype=local_values.dtype)
-    for q in range(comm.size):
-        mask = owners == q
-        result[mask] = answered[q]
+    result[send_order] = np.concatenate([np.asarray(a) for a in answered])
     return result
 
 
@@ -129,7 +146,7 @@ def _contract_impl(
     # ------------------------------------------------------------------
     unique_local = np.unique(local_labels)
     owners = _interval_owner(unique_local, n_global, comm.size)
-    received, _ = _exchange_by_owner(comm, unique_local, owners)
+    received, send_order = _exchange_by_owner(comm, unique_local, owners)
     my_ids = np.unique(np.concatenate(received)) if received else np.empty(0, np.int64)
     comm.work(n_local + unique_local.size)
 
@@ -146,9 +163,9 @@ def _contract_impl(
         responses[q] = offset + np.searchsorted(my_ids, req) if req.size else req
     answered = comm.alltoall(responses)
     remap = np.empty(unique_local.size, dtype=np.int64)
-    for q in range(comm.size):
-        mask = owners == q
-        remap[mask] = answered[q]
+    remap[send_order] = np.concatenate(
+        [np.asarray(a, dtype=np.int64) for a in answered]
+    )
     # C over local nodes, via the sorted unique_local index
     local_to_coarse = remap[np.searchsorted(unique_local, local_labels)]
 
@@ -179,12 +196,18 @@ def _contract_impl(
     comm.work(dgraph.num_arcs)
 
     coarse_vtxdist = balanced_vtxdist(n_coarse, comm.size)
-    arc_owner = (np.searchsorted(coarse_vtxdist, src_c, side="right") - 1).astype(np.int64)
-
-    per_dest: list[object] = [None] * comm.size
-    for q in range(comm.size):
-        mask = arc_owner == q
-        per_dest[q] = (src_c[mask], dst_c[mask], wgt[mask])
+    # The quotient build left src_c sorted, so the owner array is already
+    # non-decreasing: the per-destination buckets are contiguous slices.
+    arc_owner = np.searchsorted(coarse_vtxdist[1:], src_c, side="right")
+    arc_bounds = np.searchsorted(arc_owner, np.arange(comm.size + 1))
+    per_dest: list[object] = [
+        (
+            src_c[arc_bounds[q]: arc_bounds[q + 1]],
+            dst_c[arc_bounds[q]: arc_bounds[q + 1]],
+            wgt[arc_bounds[q]: arc_bounds[q + 1]],
+        )
+        for q in range(comm.size)
+    ]
     arc_msgs = comm.alltoall(per_dest)
 
     # Coarse node weights (and optional constraint labels) contributed by
@@ -197,13 +220,16 @@ def _contract_impl(
         # value works.
         rep = np.zeros(contrib_ids.size, dtype=np.int64)
         rep[inverse] = np.asarray(constraint[:n_local], dtype=np.int64)
-    node_owner = (np.searchsorted(coarse_vtxdist, contrib_ids, side="right") - 1).astype(np.int64)
+    # ``contrib_ids`` is sorted (np.unique), so owners are non-decreasing
+    # and the per-destination buckets are again contiguous slices.
+    node_owner = np.searchsorted(coarse_vtxdist[1:], contrib_ids, side="right")
+    node_bounds = np.searchsorted(node_owner, np.arange(comm.size + 1))
     per_dest = [None] * comm.size
     for q in range(comm.size):
-        mask = node_owner == q
-        payload = (contrib_ids[mask], contrib_wgt[mask])
+        sl = slice(node_bounds[q], node_bounds[q + 1])
+        payload = (contrib_ids[sl], contrib_wgt[sl])
         if constraint is not None:
-            payload = payload + (rep[mask],)
+            payload = payload + (rep[sl],)
         per_dest[q] = payload
     node_msgs = comm.alltoall(per_dest)
 
@@ -229,11 +255,16 @@ def _contract_impl(
 
     coarse_vwgt = np.zeros(my_count, dtype=np.int64)
     coarse_constraint = np.zeros(my_count, dtype=np.int64) if constraint is not None else None
-    for msg in node_msgs:
-        ids, wgts = msg[0], msg[1]
-        np.add.at(coarse_vwgt, ids - my_first, wgts)
-        if coarse_constraint is not None and len(msg) > 2 and ids.size:
-            coarse_constraint[ids - my_first] = msg[2]
+    got_ids = np.concatenate([m[0] for m in node_msgs]) if node_msgs else np.empty(0, np.int64)
+    got_wgt = np.concatenate([m[1] for m in node_msgs]) if node_msgs else np.empty(0, np.int64)
+    if got_ids.size:
+        coarse_vwgt += np.bincount(
+            got_ids - my_first, weights=got_wgt, minlength=my_count
+        ).astype(np.int64)
+    if coarse_constraint is not None:
+        for msg in node_msgs:
+            if len(msg) > 2 and msg[0].size:
+                coarse_constraint[msg[0] - my_first] = msg[2]
 
     coarse = DistGraph.from_arcs(
         coarse_vtxdist, comm.rank, all_src, all_dst, all_wgt, coarse_vwgt

@@ -32,9 +32,27 @@ Two engines drive the per-PE scan (selected by ``chunk_size``, see
 chunk of nodes against a chunk-start snapshot of labels and weights and
 apply the bookkeeping between chunks.  ``chunk_size=1`` is bit-identical
 to the scan; larger chunks add phase-internal staleness of the same kind
-the ghost scheme already tolerates across PEs.  Both engines charge the
-same ``comm.work`` units (arcs scanned per phase), so simulated times
-are engine-independent and stay comparable across the bench history.
+the ghost scheme already tolerates across PEs.
+
+Orthogonally, the chunked kernels run in one of two *sweep* modes
+(``engine``, see :func:`repro.core.lp_kernels.resolve_engine`): the
+``full`` sweep scans every local node every phase, while the default
+``frontier`` engine rescans only the active set — last phase's movers
+and their local neighbours, local neighbours of ghosts whose labels
+changed in the exchange, nodes flagged *risky* or capped at their last
+scan, and (refine mode) members of over-budget blocks.  With the hash
+tie-break this is label-identical to the full sweep per iteration
+(test-enforced); it is just faster, because converged regions drop out
+of the scan.  ``comm.work`` is charged for the arcs actually scanned,
+so the frontier engine's simulated times drop alongside wall-clock.
+
+The phase-boundary interface exchange is a *delta* exchange by default:
+each PE ships ``(interface position: int32, new label: int64)`` pairs
+for the labels that changed, falling back to a dense
+8-bytes-per-interface-node payload per destination whenever the delta
+encoding would be larger (first iterations, where most labels change).
+``CommStats`` accounts the encoded payloads, so simulated
+communication time shrinks as LP converges.
 """
 
 from __future__ import annotations
@@ -44,14 +62,21 @@ import random as _pyrandom
 import numpy as np
 
 from ..core.lp_kernels import (
+    FRONTIER_ENGINE,
+    FRONTIER_FULL_SWEEP_FRACTION,
+    FULL_ENGINE,
     aggregate_candidates,
+    candidate_tie_hash,
     capped_inflow_mask,
     chunk_ranges,
     effective_chunk,
+    gather_neighbors,
     make_tie_breaker,
     pick_targets,
+    pick_targets_hashed,
     plan_chunk,
     resolve_chunk_size,
+    resolve_engine,
 )
 from ..obsv.tracer import TRACER
 from .comm import SimComm
@@ -85,48 +110,77 @@ def _exchange_interface_labels(
     comm: SimComm,
     labels: np.ndarray,
     changed_mask: np.ndarray,
+    delta: bool = True,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Ship changed interface labels to adjacent PEs; validate and locate.
 
     Returns ``(ghost_idx, values)``: the local ghost slots the received
     updates belong to and their new labels, so callers can fold them into
-    whatever weight view they maintain.  Every received global id is
-    validated against this PE's ghost table (the same membership test
-    :meth:`DistGraph.to_local` performs) — an id that is not ghosted here
-    raises, naming the sender, instead of silently corrupting a
+    whatever weight view they maintain.
+
+    Both wire encodings are *positional*: ``send_nodes[q]`` on the
+    sender and ``recv_ghosts`` for ``q`` on the receiver list the same
+    interface nodes in the same (ascending global id) order, the
+    symmetry :meth:`DistGraph.halo_exchange` already relies on.  With
+    ``delta`` (the default) each destination gets ``(positions: int32,
+    labels: int64)`` pairs for the changed labels — 12 bytes per change
+    instead of 16 for explicit global ids — unless a dense 8-bytes-per-
+    interface-node label array is smaller (early iterations, where most
+    labels change).  Received positions are validated against the shared
+    interface size; an out-of-range position or a mis-sized dense
+    payload raises, naming the sender, instead of silently corrupting a
     neighbouring ghost slot.
     """
-    n_local = dgraph.n_local
     per_dest: list[object] = [None] * comm.size
     for q, nodes in zip(dgraph.send_ranks.tolist(), dgraph.send_nodes):
-        touched = nodes[changed_mask[nodes]]
-        per_dest[q] = (touched + dgraph.first, labels[touched])
-    received = comm.alltoall(per_dest)
+        if delta:
+            pos = np.flatnonzero(changed_mask[nodes])
+            if pos.size * 12 < nodes.size * 8:
+                per_dest[q] = (pos.astype(np.int32), labels[nodes[pos]])
+                continue
+        per_dest[q] = labels[nodes]
+    received = comm.alltoall(per_dest, tag="lp.labels")
+    ghosts_from = {
+        q: g for q, g in zip(dgraph.send_ranks.tolist(), dgraph.recv_ghosts)
+    }
     idx_parts: list[np.ndarray] = []
     val_parts: list[np.ndarray] = []
     for src, payload in enumerate(received):
         if payload is None:
             continue
-        globals_, values = payload
-        if globals_.size == 0:
-            continue
-        idx = np.searchsorted(dgraph.ghost_global, globals_)
-        if dgraph.n_ghost == 0:
-            bad = globals_
-        else:
-            clipped = np.minimum(idx, dgraph.n_ghost - 1)
-            bad = globals_[
-                (idx >= dgraph.n_ghost) | (dgraph.ghost_global[clipped] != globals_)
-            ]
-        if bad.size:
+        ghosts = ghosts_from.get(src)
+        if ghosts is None:
             raise ValueError(
-                f"rank {comm.rank} received an interface label from rank {src} "
-                f"for global node {int(bad[0])}, which is not ghosted on rank "
-                f"{comm.rank} (inconsistent send lists or a label update for a "
-                "non-interface node)"
+                f"rank {comm.rank} received an interface label payload from "
+                f"rank {src}, with which it shares no interface"
             )
-        idx_parts.append(idx + n_local)
-        val_parts.append(np.asarray(values, dtype=np.int64))
+        if isinstance(payload, tuple):
+            pos, values = payload
+            if pos.size == 0:
+                continue
+            pos = pos.astype(np.int64)
+            if int(pos.max()) >= ghosts.size or int(pos.min()) < 0:
+                raise ValueError(
+                    f"rank {comm.rank} received a delta interface label from "
+                    f"rank {src} at position {int(pos.max())}, outside the "
+                    f"{ghosts.size}-entry interface shared with that rank "
+                    "(inconsistent send lists or a label update for a "
+                    "non-interface node)"
+                )
+            idx_parts.append(ghosts[pos])
+            val_parts.append(np.asarray(values, dtype=np.int64))
+        else:
+            values = np.asarray(payload, dtype=np.int64)
+            if values.size != ghosts.size:
+                raise ValueError(
+                    f"rank {comm.rank} received a dense interface payload of "
+                    f"{values.size} labels from rank {src}, which does not "
+                    f"match the {ghosts.size}-entry interface shared with "
+                    "that rank (inconsistent send lists or a label update "
+                    "for a non-interface node)"
+                )
+            idx_parts.append(ghosts)
+            val_parts.append(values)
     if not idx_parts:
         return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
     return np.concatenate(idx_parts), np.concatenate(val_parts)
@@ -142,6 +196,8 @@ def parallel_label_propagation(
     k: int | None = None,
     constraint: np.ndarray | None = None,
     chunk_size: int | None = None,
+    engine: str | None = None,
+    delta_exchange: bool = True,
 ) -> np.ndarray:
     """Run parallel SCLP; returns the updated length-``n_total`` label array.
 
@@ -150,6 +206,12 @@ def parallel_label_propagation(
     partition refreshed by a halo exchange).  ``chunk_size`` selects the
     scan engine (0), the bit-identical chunked kernels (1), or throughput
     chunking (>1); ``None`` defers to ``REPRO_LP_CHUNK`` and the default.
+    ``engine`` selects the ``full`` sweep or the ``frontier`` active-set
+    engine (``None`` defers to ``REPRO_LP_FRONTIER``; the default is
+    ``frontier`` for throughput chunking, ``full`` for the bit-exact
+    ``chunk_size <= 1`` modes).  ``delta_exchange`` selects the sparse
+    interface exchange (the default) over the dense per-destination
+    payloads.
     """
     if mode not in ("cluster", "refine"):
         raise ValueError(f"unknown mode {mode!r}")
@@ -157,6 +219,16 @@ def parallel_label_propagation(
     if refine and k is None:
         raise ValueError("refinement mode requires k")
     chunk = resolve_chunk_size(chunk_size)
+    resolved_engine = resolve_engine(
+        engine, default=FRONTIER_ENGINE if chunk > 1 else FULL_ENGINE
+    )
+    if chunk == 0 and resolved_engine == FRONTIER_ENGINE:
+        if engine is not None:
+            raise ValueError(
+                "the frontier engine requires the chunked kernels "
+                "(chunk_size >= 1); chunk_size=0 selects the scan engine"
+            )
+        resolved_engine = FULL_ENGINE
 
     labels = np.asarray(labels, dtype=np.int64).copy()
     n_local = dgraph.n_local
@@ -177,20 +249,21 @@ def parallel_label_propagation(
         if refine:
             return _scan_refine_phases(
                 dgraph, comm, labels, vwgt_all, constraint_arr, interface,
-                tie_seed, bound, int(k), iterations,
+                tie_seed, bound, int(k), iterations, delta_exchange,
             )
         return _scan_cluster_phases(
             dgraph, comm, labels, vwgt_all, constraint_arr, interface,
-            tie_seed, bound, iterations,
+            tie_seed, bound, iterations, delta_exchange,
         )
     if refine:
         return _chunked_refine_phases(
             dgraph, comm, labels, vwgt_all, constraint_arr, interface,
-            tie_seed, bound, int(k), iterations, chunk,
+            tie_seed, bound, int(k), iterations, chunk, resolved_engine,
+            delta_exchange,
         )
     return _chunked_cluster_phases(
         dgraph, comm, labels, vwgt_all, constraint_arr, interface,
-        tie_seed, bound, iterations, chunk,
+        tie_seed, bound, iterations, chunk, resolved_engine, delta_exchange,
     )
 
 
@@ -209,6 +282,8 @@ def _chunked_cluster_phases(
     bound: int,
     iterations: int,
     chunk: int,
+    engine: str,
+    delta: bool,
 ) -> np.ndarray:
     """Clustering regime with chunked kernels (localized weight view).
 
@@ -216,13 +291,21 @@ def _chunked_cluster_phases(
     (cluster ids are global fine node ids): entries of clusters never
     seen locally stay 0, exactly like the missing keys of the scan
     engine's dict view.
+
+    The frontier engine filters each phase's scan to the active set
+    *inside* the full visit-order chunk windows, so chunk commit points
+    (and hence the weight/label snapshots every scanned node sees) line
+    up exactly with the full sweep — the per-iteration label identity
+    depends on it.
     """
     n_local = dgraph.n_local
     xadj, adjncy, adjwgt = dgraph.xadj, dgraph.adjncy, dgraph.adjwgt
     label_space = max(int(dgraph.n_global), int(labels.max(initial=0)) + 1)
     weight = np.zeros(label_space, dtype=np.int64)
     np.add.at(weight, labels, vwgt_all)
-    tie_rng = make_tie_breaker(tie_seed, chunk)
+    frontier_mode = engine == FRONTIER_ENGINE
+    hashed = frontier_mode or chunk > 1
+    tie_rng = None if hashed else make_tie_breaker(tie_seed, chunk)
 
     degrees = dgraph.degrees
     order = np.argsort(degrees, kind="stable")
@@ -230,32 +313,67 @@ def _chunked_cluster_phases(
 
     phase_chunk = effective_chunk(chunk, scan_order.size)
     # The degree order is phase-invariant, so the arc structure of every
-    # chunk is too: plan once, re-aggregate each phase.
+    # chunk is too: plan once, re-aggregate each phase.  The frontier
+    # engine reuses a window's plan whenever the whole window is active
+    # (always in phase 0) and re-plans the filtered subset otherwise.
+    windows = list(chunk_ranges(scan_order.size, phase_chunk))
     plans = [
         plan_chunk(scan_order[lo:hi], xadj, adjncy, adjwgt, constraint)
-        for lo, hi in chunk_ranges(scan_order.size, phase_chunk)
+        for lo, hi in windows
     ]
+    active = np.ones(n_local, dtype=bool)
     for _phase in range(max(0, iterations)):
         lp_span = TRACER.span(
-            "lp.iteration", comm=comm, engine="chunked", mode="cluster",
+            "lp.iteration", comm=comm, engine=engine, mode="cluster",
             iteration=_phase, chunk_size=phase_chunk, chunks=len(plans),
             constrained=constraint is not None,
         )
         with lp_span:
             changed_mask = np.zeros(n_local, dtype=bool)
+            next_active = np.zeros(n_local, dtype=bool)
             arcs_scanned = 0
             phase_moves = 0
-            for plan in plans:
-                nodes = plan.nodes
+            scanned = 0
+            # Scanning a superset of the active set is label-identical
+            # (extra nodes are provably stay-put stable), so when most
+            # nodes are active the filtered re-plans cost more than they
+            # save: fall back to the prebuilt full-window plans.
+            filtering = (
+                frontier_mode
+                and scan_order.size > 0
+                and active[scan_order].mean() < FRONTIER_FULL_SWEEP_FRACTION
+            )
+            for (lo, hi), full_plan in zip(windows, plans):
+                plan = full_plan
+                nodes = full_plan.nodes
+                if filtering:
+                    live = active[nodes]
+                    if not live.all():
+                        nodes = nodes[live]
+                        if nodes.size == 0:
+                            continue
+                        plan = plan_chunk(nodes, xadj, adjncy, adjwgt, constraint)
+                scanned += int(nodes.size)
                 cands = aggregate_candidates(
-                    plan, labels, label_space, exact_order=chunk == 1
+                    plan, labels, label_space,
+                    exact_order=not hashed and chunk == 1,
                 )
                 arcs_scanned += cands.arcs_scanned
                 own = labels[nodes]
                 c_v = vwgt_all[nodes]
                 fits = weight[cands.labels] + c_v[cands.node_pos] <= bound
                 eligible = cands.is_own | fits
-                choice = pick_targets(cands, eligible, tie_rng)
+                if hashed:
+                    # hash *global* ids so tie decisions are a property of
+                    # the node, not of its rank-local numbering
+                    tie_hash = candidate_tie_hash(
+                        tie_seed, dgraph.first + nodes[cands.node_pos], cands.labels
+                    )
+                    choice, risky = pick_targets_hashed(cands, eligible, tie_hash)
+                    if frontier_mode and risky.any():
+                        next_active[nodes[risky]] = True
+                else:
+                    choice = pick_targets(cands, eligible, tie_rng)
                 has = choice >= 0
                 target = own.copy()
                 target[has] = cands.labels[choice[has]]
@@ -267,6 +385,9 @@ def _chunked_cluster_phases(
                 keep = capped_inflow_mask(
                     m_target, m_c, weight[m_target], np.full(m_target.size, bound)
                 )
+                if frontier_mode and not keep.all():
+                    # A capped node may succeed once the target drains.
+                    next_active[m_nodes[~keep]] = True
                 m_nodes, m_own = m_nodes[keep], m_own[keep]
                 m_target, m_c = m_target[keep], m_c[keep]
                 np.subtract.at(weight, m_own, m_c)
@@ -274,10 +395,18 @@ def _chunked_cluster_phases(
                 labels[m_nodes] = m_target
                 changed_mask[m_nodes[interface[m_nodes]]] = True
                 phase_moves += int(m_nodes.size)
+                if frontier_mode and m_nodes.size:
+                    next_active[m_nodes] = True
+                    nbrs = gather_neighbors(m_nodes, xadj, adjncy)
+                    local_nbrs = nbrs[nbrs < n_local]
+                    next_active[local_nbrs] = True
+                    # Later windows of this phase must rescan the movers'
+                    # neighbours too (within-phase propagation).
+                    active[local_nbrs] = True
             comm.work(arcs_scanned)
 
             ghost_idx, ghost_vals = _exchange_interface_labels(
-                dgraph, comm, labels, changed_mask
+                dgraph, comm, labels, changed_mask, delta
             )
             if ghost_idx.size:
                 old = labels[ghost_idx]
@@ -287,13 +416,21 @@ def _chunked_cluster_phases(
                     np.subtract.at(weight, old[diff], g_w)
                     np.add.at(weight, ghost_vals[diff], g_w)
                     labels[ghost_idx[diff]] = ghost_vals[diff]
+                    if frontier_mode:
+                        gxadj, gsrc = dgraph.ghost_sources()
+                        next_active[
+                            gather_neighbors(ghost_idx[diff] - n_local, gxadj, gsrc)
+                        ] = True
 
             global_changed = int(comm.allreduce(int(changed_mask.sum())))
             lp_span.set(moved=phase_moves, arcs=arcs_scanned,
-                        global_changed=global_changed)
+                        global_changed=global_changed, active=scanned,
+                        frontier_frac=round(scanned / max(1, scan_order.size), 4))
             if TRACER.enabled:
                 TRACER.metrics.counter("lp.iterations").inc()
                 TRACER.metrics.counter("lp.moved_nodes").inc(phase_moves)
+        if frontier_mode:
+            active = next_active
         if global_changed == 0:
             break
     return labels
@@ -311,6 +448,8 @@ def _chunked_refine_phases(
     k: int,
     iterations: int,
     chunk: int,
+    engine: str,
+    delta: bool,
 ) -> np.ndarray:
     """Refinement regime with chunked kernels (exact weights, 1/p shares).
 
@@ -319,18 +458,28 @@ def _chunked_refine_phases(
     the chunk's own cumulative inflow (``capped_inflow_mask``), so a PE's
     net inflow into any block never exceeds its 1/p share — the balance
     guarantee survives chunk-internal staleness.
+
+    The frontier engine draws the same per-phase permutation and filters
+    inside its chunk windows (commit points line up with the full
+    sweep).  On top of the cluster engine's activation rules it
+    re-activates every member of an over-budget block at phase start:
+    budgets are recomputed from the exact weights each phase, so
+    eviction pressure can reach nodes whose neighbourhood never changed.
     """
     n_local = dgraph.n_local
     size = comm.size
     xadj, adjncy, adjwgt = dgraph.xadj, dgraph.adjncy, dgraph.adjwgt
     degrees = dgraph.degrees
-    tie_rng = make_tie_breaker(tie_seed, chunk)
+    frontier_mode = engine == FRONTIER_ENGINE
+    hashed = frontier_mode or chunk > 1
+    tie_rng = None if hashed else make_tie_breaker(tie_seed, chunk)
 
     exact = exact_block_weights(dgraph, comm, labels, k)
+    active_set = np.ones(n_local, dtype=bool)
 
     for _phase in range(max(0, iterations)):
         lp_span = TRACER.span(
-            "lp.iteration", comm=comm, engine="chunked", mode="refine",
+            "lp.iteration", comm=comm, engine=engine, mode="refine",
             iteration=_phase, chunk_size=effective_chunk(chunk, n_local),
             constrained=constraint is not None,
         )
@@ -340,23 +489,36 @@ def _chunked_refine_phases(
         local_net = np.zeros(k, dtype=np.int64)
         local_out = np.zeros(k, dtype=np.int64)
         changed_mask = np.zeros(n_local, dtype=bool)
+        next_active = np.zeros(n_local, dtype=bool)
         arcs_scanned = 0
         phase_moves = 0
+        scanned = 0
         n_chunks = 0
+        if frontier_mode:
+            over = np.flatnonzero(exact > bound)
+            if over.size:
+                # Fresh budgets can make members of over-budget blocks
+                # evict even when their neighbourhood never changed.
+                active_set |= np.isin(labels[:n_local], over)
 
         order = comm.rng.permutation(n_local)
         for lo, hi in chunk_ranges(n_local, effective_chunk(chunk, n_local)):
             n_chunks += 1
             nodes = order[lo:hi]
+            if frontier_mode:
+                nodes = nodes[active_set[nodes]]
+                if nodes.size == 0:
+                    continue
+            scanned += int(nodes.size)
             node_deg = degrees[nodes]
-            active = nodes[node_deg > 0]
-            if active.size:
-                own = labels[active]
-                c_v = vwgt_all[active]
+            connected = nodes[node_deg > 0]
+            if connected.size:
+                own = labels[connected]
+                c_v = vwgt_all[connected]
                 evicting = (exact[own] > bound) & (local_out[own] < evict_budget[own])
-                plan = plan_chunk(active, xadj, adjncy, adjwgt, constraint)
+                plan = plan_chunk(connected, xadj, adjncy, adjwgt, constraint)
                 cands = aggregate_candidates(
-                    plan, labels, k, exact_order=chunk == 1
+                    plan, labels, k, exact_order=not hashed and chunk == 1
                 )
                 arcs_scanned += cands.arcs_scanned
                 fits = (
@@ -364,18 +526,28 @@ def _chunked_refine_phases(
                     <= inflow_budget[cands.labels]
                 )
                 eligible = np.where(cands.is_own, ~evicting[cands.node_pos], fits)
-                choice = pick_targets(cands, eligible, tie_rng)
+                if hashed:
+                    tie_hash = candidate_tie_hash(
+                        tie_seed, dgraph.first + connected[cands.node_pos], cands.labels
+                    )
+                    choice, risky = pick_targets_hashed(cands, eligible, tie_hash)
+                    if frontier_mode and risky.any():
+                        next_active[connected[risky]] = True
+                else:
+                    choice = pick_targets(cands, eligible, tie_rng)
                 has = choice >= 0
                 target = own.copy()
                 target[has] = cands.labels[choice[has]]
                 moving = np.flatnonzero(target != own)
                 if moving.size:
-                    m_nodes, m_own = active[moving], own[moving]
+                    m_nodes, m_own = connected[moving], own[moving]
                     m_target, m_c = target[moving], c_v[moving]
                     m_evict = evicting[moving]
                     keep = capped_inflow_mask(
                         m_target, m_c, local_net[m_target], inflow_budget[m_target]
                     )
+                    if frontier_mode and not keep.all():
+                        next_active[m_nodes[~keep]] = True
                     m_nodes, m_own = m_nodes[keep], m_own[keep]
                     m_target, m_c = m_target[keep], m_c[keep]
                     m_evict = m_evict[keep]
@@ -385,6 +557,12 @@ def _chunked_refine_phases(
                     labels[m_nodes] = m_target
                     changed_mask[m_nodes[interface[m_nodes]]] = True
                     phase_moves += int(m_nodes.size)
+                    if frontier_mode and m_nodes.size:
+                        next_active[m_nodes] = True
+                        nbrs = gather_neighbors(m_nodes, xadj, adjncy)
+                        local_nbrs = nbrs[nbrs < n_local]
+                        next_active[local_nbrs] = True
+                        active_set[local_nbrs] = True
             # Isolated nodes: balance repair within the eviction budget,
             # node-at-a-time against the live views (rare, O(k) each).
             for v in nodes[node_deg == 0].tolist():
@@ -405,14 +583,23 @@ def _chunked_refine_phases(
                 local_out[own_v] += c
                 labels[v] = b
                 phase_moves += 1
+                if frontier_mode:
+                    next_active[v] = True
                 if interface[v]:
                     changed_mask[v] = True
         comm.work(arcs_scanned)
 
         ghost_idx, ghost_vals = _exchange_interface_labels(
-            dgraph, comm, labels, changed_mask
+            dgraph, comm, labels, changed_mask, delta
         )
         if ghost_idx.size:
+            if frontier_mode:
+                diff = labels[ghost_idx] != ghost_vals
+                if diff.any():
+                    gxadj, gsrc = dgraph.ghost_sources()
+                    next_active[
+                        gather_neighbors(ghost_idx[diff] - n_local, gxadj, gsrc)
+                    ] = True
             labels[ghost_idx] = ghost_vals
 
         # Restore exact weights with one allreduce (Section IV-B).
@@ -420,11 +607,14 @@ def _chunked_refine_phases(
 
         global_changed = int(comm.allreduce(int(changed_mask.sum())))
         lp_span.set(moved=phase_moves, arcs=arcs_scanned, chunks=n_chunks,
-                    global_changed=global_changed)
+                    global_changed=global_changed, active=scanned,
+                    frontier_frac=round(scanned / max(1, n_local), 4))
         if TRACER.enabled:
             TRACER.metrics.counter("lp.iterations").inc()
             TRACER.metrics.counter("lp.moved_nodes").inc(phase_moves)
         lp_span.__exit__(None, None, None)
+        if frontier_mode:
+            active_set = next_active
         if global_changed == 0:
             break
     return labels
@@ -444,6 +634,7 @@ def _scan_cluster_phases(
     tie_seed: int,
     bound: int,
     iterations: int,
+    delta: bool,
 ) -> np.ndarray:
     """Clustering regime, node-at-a-time (Section IV-B, coarsening)."""
     n_local = dgraph.n_local
@@ -518,7 +709,7 @@ def _scan_cluster_phases(
         changed_mask[changed] = True
         labels_arr = np.asarray(label_list, dtype=np.int64)
         ghost_idx, ghost_vals = _exchange_interface_labels(
-            dgraph, comm, labels_arr, changed_mask
+            dgraph, comm, labels_arr, changed_mask, delta
         )
         for gi, new_lab in zip(ghost_idx.tolist(), ghost_vals.tolist()):
             old = label_list[gi]
@@ -553,6 +744,7 @@ def _scan_refine_phases(
     bound: int,
     k: int,
     iterations: int,
+    delta: bool,
 ) -> np.ndarray:
     """Refinement regime: exact weights per phase, per-PE budget shares."""
     n_local = dgraph.n_local
@@ -657,7 +849,7 @@ def _scan_refine_phases(
         changed_mask[changed] = True
         labels_arr = np.asarray(label_list, dtype=np.int64)
         ghost_idx, ghost_vals = _exchange_interface_labels(
-            dgraph, comm, labels_arr, changed_mask
+            dgraph, comm, labels_arr, changed_mask, delta
         )
         for gi, new_lab in zip(ghost_idx.tolist(), ghost_vals.tolist()):
             label_list[gi] = new_lab

@@ -182,6 +182,7 @@ def parhip_program(
                 mode="cluster",
                 constraint=current_constraint,
                 chunk_size=config.lp_chunk_size,
+                engine=config.lp_engine,
             )
             contraction = parallel_contract(
                 current,
@@ -315,6 +316,7 @@ def parhip_program(
                 mode="refine",
                 k=k,
                 chunk_size=config.lp_chunk_size,
+                engine=config.lp_engine,
             )
             partition_local = labels[: fine.n_local]
             if TRACER.enabled:

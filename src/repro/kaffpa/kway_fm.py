@@ -36,9 +36,7 @@ def greedy_kway_refine(
     adjwgt = graph.adjwgt.tolist()
     vwgt = graph.vwgt.tolist()
     labels = part.tolist()
-    weights = [0] * k
-    for v in range(n):
-        weights[labels[v]] += vwgt[v]
+    weights = np.bincount(part, weights=graph.vwgt, minlength=k).astype(np.int64).tolist()
 
     for _ in range(max(0, max_passes)):
         moved = 0

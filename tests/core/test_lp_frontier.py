@@ -1,0 +1,172 @@
+"""Sequential frontier-engine tests.
+
+The frontier engine must be label-identical to the full sweep *per
+iteration* — not merely at convergence — in both modes, with and
+without a constraint.  Plus unit coverage for the engine selector and
+the hashed argmax kernel that makes the identity possible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.label_propagation import size_constrained_label_propagation
+from repro.core.lp_kernels import (
+    FRONTIER_ENGINE,
+    FULL_ENGINE,
+    ChunkCandidates,
+    candidate_tie_hash,
+    gather_neighbors,
+    pick_targets_hashed,
+    resolve_engine,
+)
+from repro.generators import rgg, rmat
+
+
+GRAPHS = [rmat(9, seed=3), rgg(9, seed=5)]
+
+
+def run(graph, engine, refine, chunk, iterations, seed=7):
+    rng = np.random.default_rng(seed)
+    n = graph.num_nodes
+    total = int(graph.vwgt.sum())
+    labels = (np.arange(n) % 4).astype(np.int64) if refine else None
+    bound = total // 3 if refine else total // 4
+    return size_constrained_label_propagation(
+        graph, bound, iterations, rng, labels=labels, refine=refine,
+        chunk_size=chunk, engine=engine,
+    )
+
+
+class TestFrontierIdentity:
+    """frontier == full, label for label, after every iteration count."""
+
+    @pytest.mark.parametrize("graph", GRAPHS, ids=["rmat", "rgg"])
+    @pytest.mark.parametrize("refine", [False, True], ids=["cluster", "refine"])
+    @pytest.mark.parametrize("chunk", [2, 64])
+    def test_identical_per_iteration(self, graph, refine, chunk):
+        for iterations in (1, 2, 3, 5):
+            full = run(graph, FULL_ENGINE, refine, chunk, iterations)
+            frontier = run(graph, FRONTIER_ENGINE, refine, chunk, iterations)
+            assert np.array_equal(full, frontier), (
+                f"labels diverge after {iterations} iteration(s)"
+            )
+
+    def test_frontier_requires_chunked_kernels(self):
+        g = GRAPHS[0]
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="frontier"):
+            size_constrained_label_propagation(
+                g, int(g.vwgt.sum()), 1, rng, chunk_size=0,
+                engine=FRONTIER_ENGINE,
+            )
+
+
+class TestResolveEngine:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LP_FRONTIER", "0")
+        assert resolve_engine(FRONTIER_ENGINE) == FRONTIER_ENGINE
+        assert resolve_engine(FULL_ENGINE) == FULL_ENGINE
+
+    def test_env_over_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LP_FRONTIER", "0")
+        assert resolve_engine(None, default=FRONTIER_ENGINE) == FULL_ENGINE
+        monkeypatch.setenv("REPRO_LP_FRONTIER", "frontier")
+        assert resolve_engine(None, default=FULL_ENGINE) == FRONTIER_ENGINE
+
+    def test_default_when_unset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LP_FRONTIER", raising=False)
+        assert resolve_engine(None, default=FULL_ENGINE) == FULL_ENGINE
+        assert resolve_engine(None, default=FRONTIER_ENGINE) == FRONTIER_ENGINE
+
+    def test_unknown_engine_raises(self):
+        with pytest.raises(ValueError):
+            resolve_engine("sideways")
+
+
+class TestHashedKernels:
+    def test_tie_hash_is_deterministic_and_spread(self):
+        nodes = np.arange(64, dtype=np.int64)
+        labels = np.full(64, 3, dtype=np.int64)
+        a = candidate_tie_hash(11, nodes, labels)
+        b = candidate_tie_hash(11, nodes, labels)
+        assert np.array_equal(a, b)
+        assert np.unique(a).size == a.size  # no collisions on this range
+        assert not np.array_equal(a, candidate_tie_hash(12, nodes, labels))
+
+    def test_pick_targets_hashed_marks_risky(self):
+        # One node, three candidates.  An ineligible label strictly
+        # stronger than the eligible optimum makes the node risky; a
+        # weaker ineligible one never does.
+        cands = ChunkCandidates(
+            node_pos=np.zeros(3, dtype=np.int64),
+            labels=np.array([5, 6, 7], dtype=np.int64),
+            strength=np.array([4, 5, 2], dtype=np.int64),
+            is_own=np.array([False, False, True]),
+            seg_start=np.array([0], dtype=np.int64),
+            seg_count=np.array([3], dtype=np.int64),
+            arcs_scanned=3,
+        )
+        eligible = np.array([True, False, True])
+        tie_hash = candidate_tie_hash(
+            0, np.zeros(3, dtype=np.int64), cands.labels
+        )
+        choice, risky = pick_targets_hashed(cands, eligible, tie_hash)
+        assert choice[0] == 0  # the eligible optimum
+        assert bool(risky[0])  # label 6 would win were it eligible
+
+        eligible = np.array([True, True, True])
+        choice, risky = pick_targets_hashed(cands, eligible, tie_hash)
+        assert not bool(risky[0])
+        assert choice[0] == 1  # now the strongest candidate wins
+
+    def test_pick_targets_hashed_equality_tie_risk_follows_hash(self):
+        # An ineligible candidate tied with the eligible optimum is
+        # risky exactly when its phase-invariant hash would win the tie.
+        cands = ChunkCandidates(
+            node_pos=np.zeros(2, dtype=np.int64),
+            labels=np.array([5, 6], dtype=np.int64),
+            strength=np.array([4, 4], dtype=np.int64),
+            is_own=np.array([False, False]),
+            seg_start=np.array([0], dtype=np.int64),
+            seg_count=np.array([2], dtype=np.int64),
+            arcs_scanned=2,
+        )
+        tie_hash = candidate_tie_hash(
+            3, np.zeros(2, dtype=np.int64), cands.labels
+        )
+        for ineligible in (0, 1):
+            eligible = np.ones(2, dtype=bool)
+            eligible[ineligible] = False
+            choice, risky = pick_targets_hashed(cands, eligible, tie_hash)
+            assert choice[0] == 1 - ineligible
+            assert bool(risky[0]) == bool(
+                tie_hash[ineligible] >= tie_hash[1 - ineligible]
+            )
+
+    def test_pick_targets_hashed_no_eligible_is_risky(self):
+        cands = ChunkCandidates(
+            node_pos=np.zeros(1, dtype=np.int64),
+            labels=np.array([5], dtype=np.int64),
+            strength=np.array([1], dtype=np.int64),
+            is_own=np.array([False]),
+            seg_start=np.array([0], dtype=np.int64),
+            seg_count=np.array([1], dtype=np.int64),
+            arcs_scanned=1,
+        )
+        tie_hash = candidate_tie_hash(0, np.zeros(1, np.int64), cands.labels)
+        choice, risky = pick_targets_hashed(
+            cands, np.zeros(1, dtype=bool), tie_hash
+        )
+        assert choice[0] == -1
+        assert bool(risky[0])
+
+    def test_gather_neighbors_matches_csr(self):
+        g = GRAPHS[0]
+        nodes = np.array([0, 5, 17], dtype=np.int64)
+        got = gather_neighbors(nodes, g.xadj, g.adjncy)
+        want = np.concatenate(
+            [g.adjncy[g.xadj[v]: g.xadj[v + 1]] for v in nodes]
+        )
+        assert np.array_equal(got, want)
