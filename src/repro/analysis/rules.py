@@ -295,7 +295,14 @@ class _FuncState:
         if not is_module:
             args = node.args
             names = [a.arg for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)]
-            self.comm_param = any("comm" in name.lower() for name in names)
+            # An ExecutionBackend parameter is comm-like: the shared engine
+            # drivers (repro.engine) charge traversal work through
+            # `backend.work(...)`, which is `comm.work` on the SPMD backend,
+            # so their edge loops are held to the same WORK-MISS contract.
+            self.comm_param = any(
+                "comm" in name.lower() or "backend" in name.lower()
+                for name in names
+            )
         for sub in _walk_shallow(node):
             if isinstance(sub, ast.Call):
                 if _collective_name(sub) is not None:

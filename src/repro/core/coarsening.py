@@ -7,6 +7,11 @@ when the graph is small enough for initial partitioning
 the graph (complex networks shrink by orders of magnitude per level;
 meshes shrink slowly — both behaviours are measured in the
 coarsening-effectiveness bench).
+
+The level loop itself lives in :func:`repro.engine.vcycle.run_coarsening`,
+shared with the distributed pipeline; this module binds its hooks to the
+sequential substrate (:class:`LocalCoarseningBackend`) and keeps the
+standalone :func:`coarsen` entry point used by the benches.
 """
 
 from __future__ import annotations
@@ -15,13 +20,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..engine.vcycle import run_coarsening
 from ..graph.csr import Graph
-from ..graph.quotient import contract
+from ..graph.quotient import contract as contract_clustering
 from ..graph.validation import max_block_weight_bound
 from .config import PartitionConfig
 from .label_propagation import label_propagation_clustering
 
-__all__ = ["HierarchyLevel", "Hierarchy", "coarsen"]
+__all__ = ["HierarchyLevel", "Hierarchy", "LocalCoarseningBackend", "coarsen"]
 
 
 @dataclass(frozen=True)
@@ -61,6 +67,81 @@ class Hierarchy:
         return partition
 
 
+class LocalCoarseningBackend:
+    """Coarsening half of the V-cycle backend protocol, sequentially.
+
+    ``current`` tracks the graph of the level being built; ``constraint``
+    (when given) is the input partition of an iterated V-cycle, scatter-
+    projected level by level so clusters never span two of its blocks.
+    """
+
+    emits_events = True
+
+    def __init__(
+        self,
+        graph: Graph,
+        config: PartitionConfig,
+        rng: np.random.Generator,
+        constraint: np.ndarray | None = None,
+    ):
+        self.current = graph
+        self.config = config
+        self.rng = rng
+        self.constraint = constraint
+
+    def span_kwargs(self) -> dict:
+        return {}
+
+    def clock(self) -> float:
+        return 0.0
+
+    def begin_coarsening(self) -> None:
+        pass
+
+    def current_size(self) -> int:
+        return self.current.num_nodes
+
+    def max_node_weight(self) -> int:
+        return int(self.current.vwgt.max(initial=1))
+
+    def cluster(self, level_bound: int) -> np.ndarray:
+        return label_propagation_clustering(
+            self.current,
+            max_cluster_weight=level_bound,
+            iterations=self.config.coarsening_iterations,
+            rng=self.rng,
+            ordering=self.config.coarsening_ordering,
+            constraint=self.constraint,
+        )
+
+    def contract(self, labels: np.ndarray) -> HierarchyLevel:
+        result = contract_clustering(self.current, labels)
+        return HierarchyLevel(self.current, result.coarse, result.fine_to_coarse)
+
+    def coarse_size(self, level: HierarchyLevel) -> int:
+        return level.coarse.num_nodes
+
+    def advance(self, level: HierarchyLevel) -> None:
+        self.current = level.coarse
+
+    def coarsen_level_stats(self, level: HierarchyLevel) -> dict:
+        return {
+            "fine_nodes": level.fine.num_nodes,
+            "fine_edges": level.fine.num_edges,
+            "coarse_nodes": level.coarse.num_nodes,
+            "coarse_edges": level.coarse.num_edges,
+        }
+
+    def charge_level(self, level: HierarchyLevel) -> None:
+        pass
+
+    def project_constraint(self, level: HierarchyLevel) -> None:
+        if self.constraint is not None:
+            projected = np.zeros(level.coarse.num_nodes, dtype=np.int64)
+            projected[level.fine_to_coarse] = self.constraint
+            self.constraint = projected
+
+
 def coarsen(
     graph: Graph,
     config: PartitionConfig,
@@ -85,35 +166,6 @@ def coarsen(
     # (matching-like) contraction, the behaviour f = 20 000 produces at
     # the paper's billion-edge scale.
     max_cluster_weight = max(2, int(lmax / cluster_factor))
-    target = config.coarsest_target()
-
-    levels: list[HierarchyLevel] = []
-    current = graph
-    current_constraint = constraint
-    while current.num_nodes > target:
-        # Let the bound track coarse node growth (at least a pairwise
-        # merge must stay possible each level) but cap it well below Lmax:
-        # coarse nodes near Lmax would make balanced initial partitioning
-        # a bin-packing problem with no feasible solution at small eps.
-        cap = max(2, lmax // 4)
-        level_bound = min(
-            max(max_cluster_weight, 2 * int(current.vwgt.max(initial=1))), cap
-        )
-        labels = label_propagation_clustering(
-            current,
-            max_cluster_weight=level_bound,
-            iterations=config.coarsening_iterations,
-            rng=rng,
-            ordering=config.coarsening_ordering,
-            constraint=current_constraint,
-        )
-        result = contract(current, labels)
-        if result.coarse.num_nodes >= config.min_shrink_factor * current.num_nodes:
-            break  # ineffective level: stop rather than loop forever
-        levels.append(HierarchyLevel(current, result.coarse, result.fine_to_coarse))
-        if current_constraint is not None:
-            projected = np.zeros(result.coarse.num_nodes, dtype=np.int64)
-            projected[result.fine_to_coarse] = current_constraint
-            current_constraint = projected
-        current = result.coarse
+    backend = LocalCoarseningBackend(graph, config, rng, constraint=constraint)
+    levels, _ = run_coarsening(backend, config, max_cluster_weight, lmax, top=False)
     return Hierarchy(tuple(levels), graph)

@@ -81,7 +81,7 @@ class PartitionConfig:
     #: label-propagation engine selector: 0 = node-at-a-time scan, >= 1 =
     #: chunked kernels with that chunk size (1 is bit-identical to the
     #: scan); ``None`` defers to ``REPRO_LP_CHUNK``, then the kernel
-    #: default (see repro.core.lp_kernels)
+    #: default (see repro.engine.kernels)
     lp_chunk_size: int | None = None
     #: sweep selector for the chunked LP kernels: ``'full'`` rescans every
     #: node each iteration, ``'frontier'`` only the active set (label-

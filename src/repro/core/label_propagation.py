@@ -26,45 +26,37 @@ Shared semantics, exactly as the paper specifies:
   cluster stays inside one block of the constraint (cut edges of the
   input partition are then never contracted — Section IV-D).
 
+The iteration loop itself lives in :func:`repro.engine.sclp.run_sclp`,
+shared with the distributed pipeline; this module binds it to the
+:class:`~repro.engine.backend.LocalBackend` (where every communication
+hook is the p = 1 identity) and keeps the public sequential API.
+
 Two engines implement the scan, selected by ``chunk_size`` (see
-:mod:`repro.core.lp_kernels`): the legacy node-at-a-time loop over plain
-Python lists (``chunk_size=0``; for strictly sequential semantics list
-indexing beats NumPy scalar indexing by a large factor), and the
-vectorised chunked kernels, which evaluate ``chunk_size`` nodes against a
-chunk-start snapshot and commit eligible moves between chunks
-(``chunk_size=1`` is bit-identical to the scan; larger chunks trade
-phase-internal staleness for throughput).  Chunking here is opt-in —
-with no explicit ``chunk_size`` and no ``REPRO_LP_CHUNK`` the scan
-engine runs, keeping seeded sequential quality baselines intact; the
-distributed engine in :mod:`repro.dist.dist_lp` defaults to chunked.
+:mod:`repro.engine.kernels`): the legacy node-at-a-time loop over plain
+Python lists (``chunk_size=0``), and the vectorised chunked kernels,
+which evaluate ``chunk_size`` nodes against a chunk-start snapshot and
+commit eligible moves between chunks (``chunk_size=1`` is bit-identical
+to the scan; larger chunks trade phase-internal staleness for
+throughput).  Chunking here is opt-in — with no explicit ``chunk_size``
+and no ``REPRO_LP_CHUNK`` the scan engine runs, keeping seeded
+sequential quality baselines intact; the distributed wrapper in
+:mod:`repro.dist.dist_lp` defaults to chunked.
 """
 
 from __future__ import annotations
 
-import random as _pyrandom
-
 import numpy as np
 
-from ..graph.csr import Graph
-from ..obsv.tracer import TRACER
-from .lp_kernels import (
+from ..engine.backend import LocalBackend
+from ..engine.kernels import (
     FRONTIER_ENGINE,
-    FRONTIER_FULL_SWEEP_FRACTION,
     FULL_ENGINE,
     SCAN_ENGINE,
-    aggregate_candidates,
-    candidate_tie_hash,
-    capped_inflow_mask,
-    chunk_ranges,
-    effective_chunk,
-    gather_neighbors,
-    make_tie_breaker,
-    pick_targets,
-    pick_targets_hashed,
-    plan_chunk,
     resolve_chunk_size,
     resolve_engine,
 )
+from ..engine.sclp import run_sclp
+from ..graph.csr import Graph
 
 __all__ = [
     "size_constrained_label_propagation",
@@ -158,330 +150,38 @@ def size_constrained_label_propagation(
     """
     n = graph.num_nodes
     if labels is None:
-        label_list = list(range(n))
+        labels = np.arange(n, dtype=np.int64)
     else:
         labels = np.asarray(labels, dtype=np.int64)
         if labels.shape != (n,):
             raise ValueError("labels must assign a label to every node")
-        label_list = labels.tolist()
     if n == 0:
-        return np.asarray(label_list, dtype=np.int64)
+        return labels.copy()
 
     chunk = resolve_chunk_size(chunk_size, default=SCAN_ENGINE)
     if chunk != 0:
-        return _chunked_lp(
-            graph,
-            np.asarray(label_list, dtype=np.int64),
-            int(max_block_weight),
-            iterations,
-            rng,
-            ordering,
-            refine,
-            constraint,
-            chunk,
-            resolve_engine(
-                engine, default=FRONTIER_ENGINE if chunk > 1 else FULL_ENGINE
-            ),
+        resolved_engine = resolve_engine(
+            engine, default=FRONTIER_ENGINE if chunk > 1 else FULL_ENGINE
         )
-    if engine == FRONTIER_ENGINE:
+    elif engine == FRONTIER_ENGINE:
         raise ValueError(
             "the frontier engine requires the chunked kernels "
             "(chunk_size >= 1); chunk_size=0 selects the scan engine"
         )
-
-    num_labels = (max(label_list) + 1) if label_list else 0
-    weight_list = [0] * num_labels
-    vwgt_list = graph.vwgt.tolist()
-    for v in range(n):
-        weight_list[label_list[v]] += vwgt_list[v]
-
-    xadj = graph.xadj.tolist()
-    adjncy = graph.adjncy.tolist()
-    adjwgt = graph.adjwgt.tolist()
-    constraint_list = None if constraint is None else np.asarray(constraint).tolist()
-    bound = int(max_block_weight)
-    # Scalar randomness via the stdlib generator (much cheaper per call
-    # than numpy's); seeded from the caller's generator for determinism.
-    tie_rng = _pyrandom.Random(int(rng.integers(0, 2**63 - 1)))
-
-    for _iter in range(max(0, iterations)):
-        lp_span = TRACER.span(
-            "lp.iteration", engine="scan",
-            mode="refine" if refine else "cluster", iteration=_iter,
-            constrained=constraint is not None,
-        )
-        lp_span.__enter__()
-        order = visit_order(graph, ordering, rng).tolist()
-        moved = 0
-        for v in order:
-            begin, end = xadj[v], xadj[v + 1]
-            own = label_list[v]
-            if begin == end:
-                # Isolated node: useless for the cut, but in refinement
-                # mode it can still repair balance by moving to the
-                # lightest eligible block when its own is overloaded.
-                if refine and weight_list[own] > bound:
-                    c_v = vwgt_list[v]
-                    candidates = [
-                        b for b in range(len(weight_list))
-                        if b != own and weight_list[b] + c_v <= bound
-                    ]
-                    if candidates:
-                        target = min(candidates, key=weight_list.__getitem__)
-                        weight_list[own] -= c_v
-                        weight_list[target] += c_v
-                        label_list[v] = target
-                        moved += 1
-                continue
-            my_constraint = constraint_list[v] if constraint_list is not None else None
-
-            # Aggregate connection strength per neighbouring label.
-            conn: dict[int, int] = {}
-            for idx in range(begin, end):
-                u = adjncy[idx]
-                if my_constraint is not None and constraint_list[u] != my_constraint:
-                    continue
-                lab = label_list[u]
-                conn[lab] = conn.get(lab, 0) + adjwgt[idx]
-
-            c_v = vwgt_list[v]
-            evicting = refine and weight_list[own] > bound
-            if not evicting:
-                # Staying is always permitted; connection to own block may
-                # be zero if no neighbour shares it.
-                conn.setdefault(own, 0)
-
-            best_weight = -1
-            best_labels: list[int] = []
-            for lab, strength in conn.items():
-                if lab == own:
-                    if evicting:
-                        continue
-                elif weight_list[lab] + c_v > bound:
-                    continue  # ineligible: target would overload
-                if strength > best_weight:
-                    best_weight = strength
-                    best_labels = [lab]
-                elif strength == best_weight:
-                    best_labels.append(lab)
-
-            if not best_labels:
-                continue  # evicting but nowhere eligible to go
-            target = (
-                best_labels[0]
-                if len(best_labels) == 1
-                else best_labels[tie_rng.randrange(len(best_labels))]
-            )
-            if target != own:
-                weight_list[own] -= c_v
-                weight_list[target] += c_v
-                label_list[v] = target
-                moved += 1
-        lp_span.set(moved=moved)
-        if TRACER.enabled:
-            TRACER.metrics.counter("lp.iterations").inc()
-            TRACER.metrics.counter("lp.moved_nodes").inc(moved)
-        lp_span.__exit__(None, None, None)
-        if moved == 0:
-            break
-
-    return np.asarray(label_list, dtype=np.int64)
-
-
-def _chunked_lp(
-    graph: Graph,
-    labels: np.ndarray,
-    bound: int,
-    iterations: int,
-    rng: np.random.Generator,
-    ordering: str,
-    refine: bool,
-    constraint: np.ndarray | None,
-    chunk: int,
-    engine: str,
-) -> np.ndarray:
-    """Chunked-kernel variant of the sequential engine (same semantics).
-
-    Eligibility is evaluated per chunk against a chunk-start snapshot of
-    the block weights; :func:`capped_inflow_mask` then cancels the tail
-    of each chunk's moves into any block they would overload, so the
-    bound holds exactly despite the snapshot.  At ``chunk == 1`` the
-    snapshot is always live and every branch matches the scan bit for
-    bit, including the tie-RNG stream.
-
-    The frontier engine filters each iteration's scan to the active set
-    *inside* the full visit-order chunk windows, so commit points (and
-    the weight snapshots every scanned node sees) line up exactly with
-    the full sweep; with the hash tie-break the labels after every
-    iteration are identical — only the skipped work differs.
-    """
-    labels = labels.copy()
-    n = graph.num_nodes
-    num_labels = int(labels.max()) + 1
-    weight = np.bincount(labels, weights=graph.vwgt, minlength=num_labels).astype(
-        np.int64
+    else:
+        resolved_engine = FULL_ENGINE
+    return run_sclp(
+        LocalBackend(graph, rng),
+        labels,
+        int(max_block_weight),
+        iterations,
+        refine=refine,
+        ordering=ordering,
+        constraint=constraint,
+        chunk=chunk,
+        engine=resolved_engine,
+        tie_seed=int(rng.integers(0, 2**63 - 1)),
     )
-    vwgt = np.asarray(graph.vwgt, dtype=np.int64)
-    xadj, adjncy, adjwgt = graph.xadj, graph.adjncy, graph.adjwgt
-    degrees = graph.degrees
-    constraint_arr = (
-        None if constraint is None else np.asarray(constraint, dtype=np.int64)
-    )
-    tie_seed = int(rng.integers(0, 2**63 - 1))
-    frontier_mode = engine == FRONTIER_ENGINE
-    hashed = frontier_mode or chunk > 1
-    tie_rng = None if hashed else make_tie_breaker(tie_seed, chunk)
-    sentinel = np.iinfo(np.int64).max
-
-    # Degree order is phase-invariant (and consumes no randomness), so
-    # the per-chunk arc structure can be planned once and re-aggregated
-    # every phase; random order needs fresh plans per phase, and the
-    # frontier engine re-plans any window it filters.
-    plan_cache: dict[tuple[int, int], object] = {}
-
-    def chunk_plan(nodes, lo, hi):
-        if ordering != "degree":
-            return plan_chunk(nodes, xadj, adjncy, adjwgt, constraint_arr)
-        key = (lo, hi)
-        plan = plan_cache.get(key)
-        if plan is None:
-            plan = plan_cache[key] = plan_chunk(
-                nodes, xadj, adjncy, adjwgt, constraint_arr
-            )
-        return plan
-
-    active_set = np.ones(n, dtype=bool)
-    for _iter in range(max(0, iterations)):
-        lp_span = TRACER.span(
-            "lp.iteration", engine=engine,
-            mode="refine" if refine else "cluster", iteration=_iter,
-            chunk_size=chunk, constrained=constraint is not None,
-        )
-        lp_span.__enter__()
-        order = visit_order(graph, ordering, rng)
-        if not refine:
-            # Isolated nodes never move in clustering mode; drop them so
-            # chunks are all-kernel work.
-            order = order[degrees[order] > 0]
-        if frontier_mode and refine:
-            over = np.flatnonzero(weight > bound)
-            if over.size:
-                # Eviction pressure reaches over-budget blocks' members
-                # even when their neighbourhood never changed.
-                active_set |= np.isin(labels, over)
-        moved = 0
-        n_chunks = 0
-        scanned = 0
-        next_active = np.zeros(n, dtype=bool)
-        # Scanning a superset of the active set is label-identical, so
-        # with cached degree-order plans the filtered re-plans only pay
-        # for themselves below ~half activity; random order re-plans
-        # every phase anyway, making filtering a pure win.
-        filtering = frontier_mode and (
-            ordering != "degree"
-            or order.size == 0
-            or active_set[order].mean() < FRONTIER_FULL_SWEEP_FRACTION
-        )
-        for lo, hi in chunk_ranges(order.size, effective_chunk(chunk, order.size)):
-            n_chunks += 1
-            nodes = order[lo:hi]
-            full_window = True
-            if filtering:
-                live = active_set[nodes]
-                if not live.all():
-                    full_window = False
-                    nodes = nodes[live]
-                    if nodes.size == 0:
-                        continue
-            scanned += int(nodes.size)
-            if refine:
-                connected = nodes[degrees[nodes] > 0]
-            else:
-                connected = nodes
-            if connected.size:
-                own = labels[connected]
-                c_v = vwgt[connected]
-                plan = (
-                    chunk_plan(connected, lo, hi)
-                    if full_window
-                    else plan_chunk(connected, xadj, adjncy, adjwgt, constraint_arr)
-                )
-                cands = aggregate_candidates(
-                    plan, labels, num_labels,
-                    exact_order=not hashed and chunk == 1,
-                )
-                fits = weight[cands.labels] + c_v[cands.node_pos] <= bound
-                if refine:
-                    evicting = weight[own] > bound
-                    eligible = np.where(cands.is_own, ~evicting[cands.node_pos], fits)
-                else:
-                    eligible = cands.is_own | fits
-                if hashed:
-                    tie_hash = candidate_tie_hash(
-                        tie_seed, connected[cands.node_pos], cands.labels
-                    )
-                    choice, risky = pick_targets_hashed(cands, eligible, tie_hash)
-                    if frontier_mode and risky.any():
-                        next_active[connected[risky]] = True
-                else:
-                    choice = pick_targets(cands, eligible, tie_rng)
-                has = choice >= 0
-                target = own.copy()
-                target[has] = cands.labels[choice[has]]
-                moving = np.flatnonzero(target != own)
-                if moving.size:
-                    m_nodes, m_own = connected[moving], own[moving]
-                    m_target, m_c = target[moving], c_v[moving]
-                    keep = capped_inflow_mask(
-                        m_target, m_c, weight[m_target],
-                        np.full(m_target.size, bound, dtype=np.int64),
-                    )
-                    if frontier_mode and not keep.all():
-                        # A capped node may succeed once the target drains.
-                        next_active[m_nodes[~keep]] = True
-                    m_nodes, m_own = m_nodes[keep], m_own[keep]
-                    m_target, m_c = m_target[keep], m_c[keep]
-                    np.subtract.at(weight, m_own, m_c)
-                    np.add.at(weight, m_target, m_c)
-                    labels[m_nodes] = m_target
-                    moved += int(m_nodes.size)
-                    if frontier_mode and m_nodes.size:
-                        next_active[m_nodes] = True
-                        nbrs = gather_neighbors(m_nodes, xadj, adjncy)
-                        next_active[nbrs] = True
-                        # Later windows of this iteration must rescan the
-                        # movers' neighbours too.
-                        active_set[nbrs] = True
-            if refine:
-                # Isolated nodes: balance repair against the live weights
-                # (rare; matches the scan's first-minimal choice).
-                for v in nodes[degrees[nodes] == 0].tolist():
-                    own_v = int(labels[v])
-                    if weight[own_v] <= bound:
-                        continue
-                    c = int(vwgt[v])
-                    ok = (weight + c) <= bound
-                    ok[own_v] = False
-                    if not ok.any():
-                        continue
-                    b = int(np.argmin(np.where(ok, weight, sentinel)))
-                    weight[own_v] -= c
-                    weight[b] += c
-                    labels[v] = b
-                    moved += 1
-                    if frontier_mode:
-                        next_active[v] = True
-        lp_span.set(moved=moved, chunks=n_chunks, active=scanned,
-                    frontier_frac=round(scanned / max(1, order.size), 4))
-        if TRACER.enabled:
-            TRACER.metrics.counter("lp.iterations").inc()
-            TRACER.metrics.counter("lp.moved_nodes").inc(moved)
-        lp_span.__exit__(None, None, None)
-        if frontier_mode:
-            active_set = next_active
-        if moved == 0:
-            break
-    return labels
 
 
 def label_propagation_clustering(
@@ -555,92 +255,16 @@ def label_propagation_refinement(
     band = band_nodes(graph, partition, band_distance)
     if band.size == 0:
         return partition.copy()
-    return _banded_refinement(
-        graph, partition, max_block_weight, iterations, rng, constraint, band
+    return run_sclp(
+        LocalBackend(graph, rng),
+        partition,
+        int(max_block_weight),
+        iterations,
+        refine=True,
+        ordering="random",
+        constraint=constraint,
+        chunk=SCAN_ENGINE,
+        engine=FULL_ENGINE,
+        tie_seed=int(rng.integers(0, 2**63 - 1)),
+        band=band,
     )
-
-
-def _banded_refinement(
-    graph: Graph,
-    partition: np.ndarray,
-    max_block_weight: int,
-    iterations: int,
-    rng: np.random.Generator,
-    constraint: np.ndarray | None,
-    band: np.ndarray,
-) -> np.ndarray:
-    """Refinement engine variant that only visits the given band nodes."""
-    label_list = partition.tolist()
-    n = graph.num_nodes
-    num_labels = (max(label_list) + 1) if label_list else 0
-    weight_list = [0] * num_labels
-    vwgt_list = graph.vwgt.tolist()
-    for v in range(n):
-        weight_list[label_list[v]] += vwgt_list[v]
-
-    xadj = graph.xadj.tolist()
-    adjncy = graph.adjncy.tolist()
-    adjwgt = graph.adjwgt.tolist()
-    constraint_list = None if constraint is None else np.asarray(constraint).tolist()
-    bound = int(max_block_weight)
-    tie_rng = _pyrandom.Random(int(rng.integers(0, 2**63 - 1)))
-    band_list = band.tolist()
-
-    for _iter in range(max(0, iterations)):
-        lp_span = TRACER.span(
-            "lp.iteration", engine="banded", mode="refine", iteration=_iter,
-            band_size=len(band_list), constrained=constraint is not None,
-        )
-        lp_span.__enter__()
-        moved = 0
-        order = [band_list[i] for i in rng.permutation(len(band_list)).tolist()]
-        for v in order:
-            begin, end = xadj[v], xadj[v + 1]
-            if begin == end:
-                continue
-            own = label_list[v]
-            my_constraint = constraint_list[v] if constraint_list is not None else None
-            conn: dict[int, int] = {}
-            for idx in range(begin, end):
-                u = adjncy[idx]
-                if my_constraint is not None and constraint_list[u] != my_constraint:
-                    continue
-                lab = label_list[u]
-                conn[lab] = conn.get(lab, 0) + adjwgt[idx]
-            c_v = vwgt_list[v]
-            evicting = weight_list[own] > bound
-            if not evicting:
-                conn.setdefault(own, 0)
-            best_weight = -1
-            best_labels: list[int] = []
-            for lab, strength in conn.items():
-                if lab == own:
-                    if evicting:
-                        continue
-                elif weight_list[lab] + c_v > bound:
-                    continue
-                if strength > best_weight:
-                    best_weight = strength
-                    best_labels = [lab]
-                elif strength == best_weight:
-                    best_labels.append(lab)
-            if not best_labels:
-                continue
-            target = (
-                best_labels[0]
-                if len(best_labels) == 1
-                else best_labels[tie_rng.randrange(len(best_labels))]
-            )
-            if target != own:
-                weight_list[own] -= c_v
-                weight_list[target] += c_v
-                label_list[v] = target
-                moved += 1
-        lp_span.set(moved=moved)
-        if TRACER.enabled:
-            TRACER.metrics.counter("lp.iterations").inc()
-            TRACER.metrics.counter("lp.moved_nodes").inc(moved)
-        lp_span.__exit__(None, None, None)
-        if moved == 0:
-            break
-    return np.asarray(label_list, dtype=np.int64)

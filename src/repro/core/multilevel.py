@@ -5,6 +5,11 @@ parallelises (Section III): coarsen by contracting size-constrained
 label-propagation clusterings, partition the coarsest graph, then
 uncoarsen with label-propagation refinement on every level.  One call is
 one V-cycle; :mod:`repro.core.vcycle` iterates it.
+
+The cycle skeleton — level loops, spans, events, phase accounting —
+lives in :func:`repro.engine.vcycle.run_vcycle`, shared with the
+distributed pipeline; this module binds its hooks to the sequential
+substrate (:class:`LocalVcycleBackend`) and keeps the public API.
 """
 
 from __future__ import annotations
@@ -13,17 +18,23 @@ from typing import Protocol
 
 import numpy as np
 
+from ..engine.vcycle import run_vcycle
 from ..graph.csr import Graph
 from ..graph.ops import degree_statistics
 from ..graph.validation import max_block_weight_bound
 from ..metrics.quality import edge_cut
-from ..obsv.tracer import _NOOP_SPAN, TRACER
-from .coarsening import Hierarchy, coarsen
+from .coarsening import HierarchyLevel, LocalCoarseningBackend
 from .config import PartitionConfig
 from .label_propagation import label_propagation_refinement
 from .projection import project_partition
 
-__all__ = ["InitialPartitioner", "detect_social", "multilevel_partition", "default_initial_partitioner"]
+__all__ = [
+    "InitialPartitioner",
+    "LocalVcycleBackend",
+    "detect_social",
+    "multilevel_partition",
+    "default_initial_partitioner",
+]
 
 
 class InitialPartitioner(Protocol):
@@ -74,6 +85,86 @@ def default_initial_partitioner(
     )
 
 
+class LocalVcycleBackend(LocalCoarseningBackend):
+    """Sequential binding of the full V-cycle backend protocol.
+
+    Extends the coarsening hooks with initial partitioning (KaFFPa on
+    the coarsest graph, seeded by the projected input partition of an
+    iterated V-cycle) and per-level LP refinement.  After coarsening,
+    ``constraint`` holds the input partition projected to the coarsest
+    level — exactly the seed the initial partitioner must not lose to.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        config: PartitionConfig,
+        rng: np.random.Generator,
+        initial: InitialPartitioner,
+        input_partition: np.ndarray | None,
+        lmax: int,
+    ):
+        super().__init__(graph, config, rng, constraint=input_partition)
+        self.initial = initial
+        self.lmax = lmax
+
+    def initial_partition(self) -> np.ndarray:
+        return self.initial(
+            self.current,
+            self.config.k,
+            self.config.epsilon,
+            self.rng,
+            seed_partition=self.constraint,
+        )
+
+    def initial_stats(self, partition: np.ndarray) -> tuple[int, int]:
+        return self.current.num_nodes, int(edge_cut(self.current, partition))
+
+    def coarsest_refine(self, partition: np.ndarray) -> np.ndarray:
+        return label_propagation_refinement(
+            self.current,
+            partition,
+            self.lmax,
+            self.config.refinement_iterations,
+            self.rng,
+        )
+
+    def initial_cut_fields(
+        self, partition: np.ndarray, stats: tuple[int, int]
+    ) -> dict:
+        nodes, cut = stats
+        return {
+            "nodes": nodes,
+            "cut": cut,
+            "cut_refined": int(edge_cut(self.current, partition)),
+        }
+
+    def project(
+        self, level: HierarchyLevel, partition: np.ndarray
+    ) -> np.ndarray:
+        return project_partition(partition, level.fine_to_coarse)
+
+    def refine_level(
+        self, level: HierarchyLevel, partition: np.ndarray
+    ) -> np.ndarray:
+        return label_propagation_refinement(
+            level.fine,
+            partition,
+            self.lmax,
+            self.config.refinement_iterations,
+            self.rng,
+        )
+
+    def level_cut(self, level: HierarchyLevel, partition: np.ndarray) -> int:
+        return int(edge_cut(level.fine, partition))
+
+    def level_nodes(self, level: HierarchyLevel) -> int:
+        return level.fine.num_nodes
+
+    def release_level(self) -> None:
+        pass
+
+
 def multilevel_partition(
     graph: Graph,
     config: PartitionConfig,
@@ -106,79 +197,16 @@ def multilevel_partition(
     # recursions are inner detail and would double-count phase times.
     top = _depth == 0
 
-    coarsen_span = (
-        TRACER.span("coarsening", cycle=_trace_cycle) if top else _NOOP_SPAN
+    backend = LocalVcycleBackend(
+        graph, config, rng, initial, input_partition, lmax
     )
-    with coarsen_span as csp:
-        hierarchy: Hierarchy = coarsen(
-            graph, config, rng, cluster_factor, constraint=input_partition
-        )
-        csp.set(levels=len(hierarchy.levels))
-    if top and TRACER.enabled:
-        for i, level in enumerate(hierarchy.levels):
-            fine_n, coarse_n = level.fine.num_nodes, level.coarse.num_nodes
-            shrink = fine_n / max(1, coarse_n)
-            TRACER.event(
-                "coarsen.level", cycle=_trace_cycle, level=i,
-                fine_nodes=fine_n, fine_edges=level.fine.num_edges,
-                coarse_nodes=coarse_n, coarse_edges=level.coarse.num_edges,
-                shrink=shrink,
-            )
-            TRACER.metrics.counter("coarsen.levels").inc()
-            TRACER.metrics.histogram("coarsen.shrink").observe(shrink)
 
-    seed = input_partition
-    if seed is not None:
-        for level in hierarchy.levels:
-            projected = np.zeros(level.coarse.num_nodes, dtype=np.int64)
-            projected[level.fine_to_coarse] = seed
-            seed = projected
+    wcycle_hook = None
+    if config.cycle_type == "W" and _depth == 0:
 
-    init_span = (
-        TRACER.span("initial", cycle=_trace_cycle) if top else _NOOP_SPAN
-    )
-    with init_span as isp:
-        partition = initial(
-            hierarchy.coarsest, k, config.epsilon, rng, seed_partition=seed
-        )
-        init_cut: int | None = None
-        if top and TRACER.enabled:
-            init_cut = int(edge_cut(hierarchy.coarsest, partition))
-            isp.set(nodes=hierarchy.coarsest.num_nodes, cut=init_cut)
-
-    # Uncoarsen: project, then r rounds of LP refinement per level.
-    refine_span = (
-        TRACER.span("refinement", cycle=_trace_cycle) if top else _NOOP_SPAN
-    )
-    refine_span.__enter__()
-    partition = label_propagation_refinement(
-        hierarchy.coarsest, partition, lmax, config.refinement_iterations, rng
-    )
-    if top and TRACER.enabled:
-        TRACER.event(
-            "initial.cut", cycle=_trace_cycle,
-            nodes=hierarchy.coarsest.num_nodes, cut=init_cut,
-            cut_refined=int(edge_cut(hierarchy.coarsest, partition)),
-        )
-    for level_idx in range(len(hierarchy.levels) - 1, -1, -1):
-        level = hierarchy.levels[level_idx]
-        level_span = (
-            TRACER.span("uncoarsen.level", cycle=_trace_cycle, level=level_idx)
-            if top else _NOOP_SPAN
-        )
-        level_span.__enter__()
-        partition = project_partition(partition, level.fine_to_coarse)
-        cut_projected: int | None = None
-        if top and TRACER.enabled:
-            cut_projected = int(edge_cut(level.fine, partition))
-        partition = label_propagation_refinement(
-            level.fine, partition, lmax, config.refinement_iterations, rng
-        )
-        if (
-            config.cycle_type == "W"
-            and _depth == 0
-            and level.fine.num_nodes <= config.wcycle_node_limit
-        ):
+        def wcycle_hook(level: HierarchyLevel, partition: np.ndarray) -> np.ndarray:
+            if level.fine.num_nodes > config.wcycle_node_limit:
+                return partition
             # W-cycle: one protected recursion from this level; keep the
             # result iff it is no worse (it cannot be, given a balanced
             # partition, but tie-break defensively like the V-cycle loop).
@@ -194,16 +222,17 @@ def multilevel_partition(
             if heavy <= lmax and edge_cut(level.fine, recursed) <= edge_cut(
                 level.fine, partition
             ):
-                partition = recursed
-        if top and TRACER.enabled:
-            cut_refined = int(edge_cut(level.fine, partition))
-            level_span.set(cut_projected=cut_projected, cut_refined=cut_refined)
-            TRACER.event(
-                "uncoarsen.level", cycle=_trace_cycle, level=level_idx,
-                nodes=level.fine.num_nodes, cut_projected=cut_projected,
-                cut_refined=cut_refined,
-            )
-            TRACER.metrics.gauge("partition.cut").set(cut_refined)
-        level_span.__exit__(None, None, None)
-    refine_span.__exit__(None, None, None)
-    return partition
+                return recursed
+            return partition
+
+    # Floor of 2 on the cluster bound: see the note in coarsening.coarsen.
+    result = run_vcycle(
+        backend,
+        config,
+        lmax,
+        max(2, int(lmax / cluster_factor)),
+        cycle=_trace_cycle,
+        top=top,
+        wcycle_hook=wcycle_hook,
+    )
+    return result.partition

@@ -1,9 +1,11 @@
 """Parallel size-constrained label propagation (paper Sections IV-A/IV-B).
 
-Each PE runs the sequential scan over its *local* nodes; ghost labels are
-refreshed through the buffered phase exchange, so within a phase a PE
-works with ghost information that is one phase stale — exactly the
-paper's communication/computation overlap scheme.
+Each PE runs the shared SCLP driver (:func:`repro.engine.sclp.run_sclp`)
+over its *local* nodes through the
+:class:`~repro.engine.backend.SpmdBackend`; ghost labels are refreshed
+through the buffered phase exchange, so within a phase a PE works with
+ghost information that is one phase stale — exactly the paper's
+communication/computation overlap scheme.
 
 Block-weight bookkeeping follows the paper's two regimes:
 
@@ -27,7 +29,7 @@ Degree-based node ordering is parallelised exactly as in the paper: each
 PE orders its *local* nodes by local degree; refinement uses random order.
 
 Two engines drive the per-PE scan (selected by ``chunk_size``, see
-:mod:`repro.core.lp_kernels`): the legacy node-at-a-time Python scan
+:mod:`repro.engine.kernels`): the legacy node-at-a-time Python scan
 (``chunk_size=0``), and the vectorised chunked kernels, which evaluate a
 chunk of nodes against a chunk-start snapshot of labels and weights and
 apply the bookkeeping between chunks.  ``chunk_size=1`` is bit-identical
@@ -35,7 +37,7 @@ to the scan; larger chunks add phase-internal staleness of the same kind
 the ghost scheme already tolerates across PEs.
 
 Orthogonally, the chunked kernels run in one of two *sweep* modes
-(``engine``, see :func:`repro.core.lp_kernels.resolve_engine`): the
+(``engine``, see :func:`repro.engine.kernels.resolve_engine`): the
 ``full`` sweep scans every local node every phase, while the default
 ``frontier`` engine rescans only the active set — last phase's movers
 and their local neighbours, local neighbours of ghosts whose labels
@@ -57,28 +59,16 @@ communication time shrinks as LP converges.
 
 from __future__ import annotations
 
-import random as _pyrandom
-
 import numpy as np
 
-from ..core.lp_kernels import (
+from ..engine.kernels import (
     FRONTIER_ENGINE,
-    FRONTIER_FULL_SWEEP_FRACTION,
     FULL_ENGINE,
-    aggregate_candidates,
-    candidate_tie_hash,
-    capped_inflow_mask,
-    chunk_ranges,
-    effective_chunk,
-    gather_neighbors,
-    make_tie_breaker,
-    pick_targets,
-    pick_targets_hashed,
-    plan_chunk,
     resolve_chunk_size,
     resolve_engine,
 )
-from ..obsv.tracer import TRACER
+from ..engine.backend import SpmdBackend, exchange_interface_labels
+from ..engine.sclp import run_sclp
 from .comm import SimComm
 from .dgraph import DistGraph
 
@@ -105,85 +95,9 @@ def distributed_edge_cut(dgraph: DistGraph, comm: SimComm, labels: np.ndarray) -
     return int(comm.allreduce(local_cut)) // 2
 
 
-def _exchange_interface_labels(
-    dgraph: DistGraph,
-    comm: SimComm,
-    labels: np.ndarray,
-    changed_mask: np.ndarray,
-    delta: bool = True,
-) -> tuple[np.ndarray, np.ndarray]:
-    """Ship changed interface labels to adjacent PEs; validate and locate.
-
-    Returns ``(ghost_idx, values)``: the local ghost slots the received
-    updates belong to and their new labels, so callers can fold them into
-    whatever weight view they maintain.
-
-    Both wire encodings are *positional*: ``send_nodes[q]`` on the
-    sender and ``recv_ghosts`` for ``q`` on the receiver list the same
-    interface nodes in the same (ascending global id) order, the
-    symmetry :meth:`DistGraph.halo_exchange` already relies on.  With
-    ``delta`` (the default) each destination gets ``(positions: int32,
-    labels: int64)`` pairs for the changed labels — 12 bytes per change
-    instead of 16 for explicit global ids — unless a dense 8-bytes-per-
-    interface-node label array is smaller (early iterations, where most
-    labels change).  Received positions are validated against the shared
-    interface size; an out-of-range position or a mis-sized dense
-    payload raises, naming the sender, instead of silently corrupting a
-    neighbouring ghost slot.
-    """
-    per_dest: list[object] = [None] * comm.size
-    for q, nodes in zip(dgraph.send_ranks.tolist(), dgraph.send_nodes):
-        if delta:
-            pos = np.flatnonzero(changed_mask[nodes])
-            if pos.size * 12 < nodes.size * 8:
-                per_dest[q] = (pos.astype(np.int32), labels[nodes[pos]])
-                continue
-        per_dest[q] = labels[nodes]
-    received = comm.alltoall(per_dest, tag="lp.labels")
-    ghosts_from = {
-        q: g for q, g in zip(dgraph.send_ranks.tolist(), dgraph.recv_ghosts)
-    }
-    idx_parts: list[np.ndarray] = []
-    val_parts: list[np.ndarray] = []
-    for src, payload in enumerate(received):
-        if payload is None:
-            continue
-        ghosts = ghosts_from.get(src)
-        if ghosts is None:
-            raise ValueError(
-                f"rank {comm.rank} received an interface label payload from "
-                f"rank {src}, with which it shares no interface"
-            )
-        if isinstance(payload, tuple):
-            pos, values = payload
-            if pos.size == 0:
-                continue
-            pos = pos.astype(np.int64)
-            if int(pos.max()) >= ghosts.size or int(pos.min()) < 0:
-                raise ValueError(
-                    f"rank {comm.rank} received a delta interface label from "
-                    f"rank {src} at position {int(pos.max())}, outside the "
-                    f"{ghosts.size}-entry interface shared with that rank "
-                    "(inconsistent send lists or a label update for a "
-                    "non-interface node)"
-                )
-            idx_parts.append(ghosts[pos])
-            val_parts.append(np.asarray(values, dtype=np.int64))
-        else:
-            values = np.asarray(payload, dtype=np.int64)
-            if values.size != ghosts.size:
-                raise ValueError(
-                    f"rank {comm.rank} received a dense interface payload of "
-                    f"{values.size} labels from rank {src}, which does not "
-                    f"match the {ghosts.size}-entry interface shared with "
-                    "that rank (inconsistent send lists or a label update "
-                    "for a non-interface node)"
-                )
-            idx_parts.append(ghosts)
-            val_parts.append(values)
-    if not idx_parts:
-        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
-    return np.concatenate(idx_parts), np.concatenate(val_parts)
+# Kept under the historical name as well: the interface-exchange tests
+# exercise the wire protocol through this module.
+_exchange_interface_labels = exchange_interface_labels
 
 
 def parallel_label_propagation(
@@ -229,644 +143,18 @@ def parallel_label_propagation(
                 "(chunk_size >= 1); chunk_size=0 selects the scan engine"
             )
         resolved_engine = FULL_ENGINE
-
-    labels = np.asarray(labels, dtype=np.int64).copy()
-    n_local = dgraph.n_local
-    bound = int(max_block_weight)
-    interface = dgraph.interface_mask()
-    tie_seed = int(comm.rng.integers(0, 2**63 - 1))
-
-    # Node weights including ghosts (one halo exchange).
-    vwgt_all = np.zeros(dgraph.n_total, dtype=np.int64)
-    vwgt_all[:n_local] = dgraph.vwgt
-    dgraph.halo_exchange(comm, vwgt_all)
-
-    constraint_arr = (
-        None if constraint is None else np.asarray(constraint, dtype=np.int64)
+    return run_sclp(
+        SpmdBackend(dgraph, comm),
+        labels,
+        int(max_block_weight),
+        iterations,
+        refine=refine,
+        shares=refine,
+        k=None if k is None else int(k),
+        ordering="random" if refine else "degree",
+        constraint=constraint,
+        chunk=chunk,
+        engine=resolved_engine,
+        tie_seed=int(comm.rng.integers(0, 2**63 - 1)),
+        delta=delta_exchange,
     )
-
-    if chunk == 0:
-        if refine:
-            return _scan_refine_phases(
-                dgraph, comm, labels, vwgt_all, constraint_arr, interface,
-                tie_seed, bound, int(k), iterations, delta_exchange,
-            )
-        return _scan_cluster_phases(
-            dgraph, comm, labels, vwgt_all, constraint_arr, interface,
-            tie_seed, bound, iterations, delta_exchange,
-        )
-    if refine:
-        return _chunked_refine_phases(
-            dgraph, comm, labels, vwgt_all, constraint_arr, interface,
-            tie_seed, bound, int(k), iterations, chunk, resolved_engine,
-            delta_exchange,
-        )
-    return _chunked_cluster_phases(
-        dgraph, comm, labels, vwgt_all, constraint_arr, interface,
-        tie_seed, bound, iterations, chunk, resolved_engine, delta_exchange,
-    )
-
-
-# ----------------------------------------------------------------------
-# Chunked engines (vectorised kernels, see repro.core.lp_kernels)
-# ----------------------------------------------------------------------
-
-def _chunked_cluster_phases(
-    dgraph: DistGraph,
-    comm: SimComm,
-    labels: np.ndarray,
-    vwgt_all: np.ndarray,
-    constraint: np.ndarray | None,
-    interface: np.ndarray,
-    tie_seed: int,
-    bound: int,
-    iterations: int,
-    chunk: int,
-    engine: str,
-    delta: bool,
-) -> np.ndarray:
-    """Clustering regime with chunked kernels (localized weight view).
-
-    The per-PE weight view is a dense array over the cluster-id space
-    (cluster ids are global fine node ids): entries of clusters never
-    seen locally stay 0, exactly like the missing keys of the scan
-    engine's dict view.
-
-    The frontier engine filters each phase's scan to the active set
-    *inside* the full visit-order chunk windows, so chunk commit points
-    (and hence the weight/label snapshots every scanned node sees) line
-    up exactly with the full sweep — the per-iteration label identity
-    depends on it.
-    """
-    n_local = dgraph.n_local
-    xadj, adjncy, adjwgt = dgraph.xadj, dgraph.adjncy, dgraph.adjwgt
-    label_space = max(int(dgraph.n_global), int(labels.max(initial=0)) + 1)
-    weight = np.zeros(label_space, dtype=np.int64)
-    np.add.at(weight, labels, vwgt_all)
-    frontier_mode = engine == FRONTIER_ENGINE
-    hashed = frontier_mode or chunk > 1
-    tie_rng = None if hashed else make_tie_breaker(tie_seed, chunk)
-
-    degrees = dgraph.degrees
-    order = np.argsort(degrees, kind="stable")
-    scan_order = order[degrees[order] > 0]
-
-    phase_chunk = effective_chunk(chunk, scan_order.size)
-    # The degree order is phase-invariant, so the arc structure of every
-    # chunk is too: plan once, re-aggregate each phase.  The frontier
-    # engine reuses a window's plan whenever the whole window is active
-    # (always in phase 0) and re-plans the filtered subset otherwise.
-    windows = list(chunk_ranges(scan_order.size, phase_chunk))
-    plans = [
-        plan_chunk(scan_order[lo:hi], xadj, adjncy, adjwgt, constraint)
-        for lo, hi in windows
-    ]
-    active = np.ones(n_local, dtype=bool)
-    for _phase in range(max(0, iterations)):
-        lp_span = TRACER.span(
-            "lp.iteration", comm=comm, engine=engine, mode="cluster",
-            iteration=_phase, chunk_size=phase_chunk, chunks=len(plans),
-            constrained=constraint is not None,
-        )
-        with lp_span:
-            changed_mask = np.zeros(n_local, dtype=bool)
-            next_active = np.zeros(n_local, dtype=bool)
-            arcs_scanned = 0
-            phase_moves = 0
-            scanned = 0
-            # Scanning a superset of the active set is label-identical
-            # (extra nodes are provably stay-put stable), so when most
-            # nodes are active the filtered re-plans cost more than they
-            # save: fall back to the prebuilt full-window plans.
-            filtering = (
-                frontier_mode
-                and scan_order.size > 0
-                and active[scan_order].mean() < FRONTIER_FULL_SWEEP_FRACTION
-            )
-            for (lo, hi), full_plan in zip(windows, plans):
-                plan = full_plan
-                nodes = full_plan.nodes
-                if filtering:
-                    live = active[nodes]
-                    if not live.all():
-                        nodes = nodes[live]
-                        if nodes.size == 0:
-                            continue
-                        plan = plan_chunk(nodes, xadj, adjncy, adjwgt, constraint)
-                scanned += int(nodes.size)
-                cands = aggregate_candidates(
-                    plan, labels, label_space,
-                    exact_order=not hashed and chunk == 1,
-                )
-                arcs_scanned += cands.arcs_scanned
-                own = labels[nodes]
-                c_v = vwgt_all[nodes]
-                fits = weight[cands.labels] + c_v[cands.node_pos] <= bound
-                eligible = cands.is_own | fits
-                if hashed:
-                    # hash *global* ids so tie decisions are a property of
-                    # the node, not of its rank-local numbering
-                    tie_hash = candidate_tie_hash(
-                        tie_seed, dgraph.first + nodes[cands.node_pos], cands.labels
-                    )
-                    choice, risky = pick_targets_hashed(cands, eligible, tie_hash)
-                    if frontier_mode and risky.any():
-                        next_active[nodes[risky]] = True
-                else:
-                    choice = pick_targets(cands, eligible, tie_rng)
-                has = choice >= 0
-                target = own.copy()
-                target[has] = cands.labels[choice[has]]
-                moving = np.flatnonzero(target != own)
-                if moving.size == 0:
-                    continue
-                m_nodes, m_own = nodes[moving], own[moving]
-                m_target, m_c = target[moving], c_v[moving]
-                keep = capped_inflow_mask(
-                    m_target, m_c, weight[m_target], np.full(m_target.size, bound)
-                )
-                if frontier_mode and not keep.all():
-                    # A capped node may succeed once the target drains.
-                    next_active[m_nodes[~keep]] = True
-                m_nodes, m_own = m_nodes[keep], m_own[keep]
-                m_target, m_c = m_target[keep], m_c[keep]
-                np.subtract.at(weight, m_own, m_c)
-                np.add.at(weight, m_target, m_c)
-                labels[m_nodes] = m_target
-                changed_mask[m_nodes[interface[m_nodes]]] = True
-                phase_moves += int(m_nodes.size)
-                if frontier_mode and m_nodes.size:
-                    next_active[m_nodes] = True
-                    nbrs = gather_neighbors(m_nodes, xadj, adjncy)
-                    local_nbrs = nbrs[nbrs < n_local]
-                    next_active[local_nbrs] = True
-                    # Later windows of this phase must rescan the movers'
-                    # neighbours too (within-phase propagation).
-                    active[local_nbrs] = True
-            comm.work(arcs_scanned)
-
-            ghost_idx, ghost_vals = _exchange_interface_labels(
-                dgraph, comm, labels, changed_mask, delta
-            )
-            if ghost_idx.size:
-                old = labels[ghost_idx]
-                diff = old != ghost_vals
-                if diff.any():
-                    g_w = vwgt_all[ghost_idx[diff]]
-                    np.subtract.at(weight, old[diff], g_w)
-                    np.add.at(weight, ghost_vals[diff], g_w)
-                    labels[ghost_idx[diff]] = ghost_vals[diff]
-                    if frontier_mode:
-                        gxadj, gsrc = dgraph.ghost_sources()
-                        next_active[
-                            gather_neighbors(ghost_idx[diff] - n_local, gxadj, gsrc)
-                        ] = True
-
-            global_changed = int(comm.allreduce(int(changed_mask.sum())))
-            lp_span.set(moved=phase_moves, arcs=arcs_scanned,
-                        global_changed=global_changed, active=scanned,
-                        frontier_frac=round(scanned / max(1, scan_order.size), 4))
-            if TRACER.enabled:
-                TRACER.metrics.counter("lp.iterations").inc()
-                TRACER.metrics.counter("lp.moved_nodes").inc(phase_moves)
-        if frontier_mode:
-            active = next_active
-        if global_changed == 0:
-            break
-    return labels
-
-
-def _chunked_refine_phases(
-    dgraph: DistGraph,
-    comm: SimComm,
-    labels: np.ndarray,
-    vwgt_all: np.ndarray,
-    constraint: np.ndarray | None,
-    interface: np.ndarray,
-    tie_seed: int,
-    bound: int,
-    k: int,
-    iterations: int,
-    chunk: int,
-    engine: str,
-    delta: bool,
-) -> np.ndarray:
-    """Refinement regime with chunked kernels (exact weights, 1/p shares).
-
-    The inflow caps are enforced twice: per candidate against the
-    chunk-start snapshot (eligibility), and per committed move against
-    the chunk's own cumulative inflow (``capped_inflow_mask``), so a PE's
-    net inflow into any block never exceeds its 1/p share — the balance
-    guarantee survives chunk-internal staleness.
-
-    The frontier engine draws the same per-phase permutation and filters
-    inside its chunk windows (commit points line up with the full
-    sweep).  On top of the cluster engine's activation rules it
-    re-activates every member of an over-budget block at phase start:
-    budgets are recomputed from the exact weights each phase, so
-    eviction pressure can reach nodes whose neighbourhood never changed.
-    """
-    n_local = dgraph.n_local
-    size = comm.size
-    xadj, adjncy, adjwgt = dgraph.xadj, dgraph.adjncy, dgraph.adjwgt
-    degrees = dgraph.degrees
-    frontier_mode = engine == FRONTIER_ENGINE
-    hashed = frontier_mode or chunk > 1
-    tie_rng = None if hashed else make_tie_breaker(tie_seed, chunk)
-
-    exact = exact_block_weights(dgraph, comm, labels, k)
-    active_set = np.ones(n_local, dtype=bool)
-
-    for _phase in range(max(0, iterations)):
-        lp_span = TRACER.span(
-            "lp.iteration", comm=comm, engine=engine, mode="refine",
-            iteration=_phase, chunk_size=effective_chunk(chunk, n_local),
-            constrained=constraint is not None,
-        )
-        lp_span.__enter__()
-        inflow_budget = np.maximum(0.0, (bound - exact) / size)
-        evict_budget = np.maximum(0.0, (exact - bound) / size)
-        local_net = np.zeros(k, dtype=np.int64)
-        local_out = np.zeros(k, dtype=np.int64)
-        changed_mask = np.zeros(n_local, dtype=bool)
-        next_active = np.zeros(n_local, dtype=bool)
-        arcs_scanned = 0
-        phase_moves = 0
-        scanned = 0
-        n_chunks = 0
-        if frontier_mode:
-            over = np.flatnonzero(exact > bound)
-            if over.size:
-                # Fresh budgets can make members of over-budget blocks
-                # evict even when their neighbourhood never changed.
-                active_set |= np.isin(labels[:n_local], over)
-
-        order = comm.rng.permutation(n_local)
-        for lo, hi in chunk_ranges(n_local, effective_chunk(chunk, n_local)):
-            n_chunks += 1
-            nodes = order[lo:hi]
-            if frontier_mode:
-                nodes = nodes[active_set[nodes]]
-                if nodes.size == 0:
-                    continue
-            scanned += int(nodes.size)
-            node_deg = degrees[nodes]
-            connected = nodes[node_deg > 0]
-            if connected.size:
-                own = labels[connected]
-                c_v = vwgt_all[connected]
-                evicting = (exact[own] > bound) & (local_out[own] < evict_budget[own])
-                plan = plan_chunk(connected, xadj, adjncy, adjwgt, constraint)
-                cands = aggregate_candidates(
-                    plan, labels, k, exact_order=not hashed and chunk == 1
-                )
-                arcs_scanned += cands.arcs_scanned
-                fits = (
-                    local_net[cands.labels] + c_v[cands.node_pos]
-                    <= inflow_budget[cands.labels]
-                )
-                eligible = np.where(cands.is_own, ~evicting[cands.node_pos], fits)
-                if hashed:
-                    tie_hash = candidate_tie_hash(
-                        tie_seed, dgraph.first + connected[cands.node_pos], cands.labels
-                    )
-                    choice, risky = pick_targets_hashed(cands, eligible, tie_hash)
-                    if frontier_mode and risky.any():
-                        next_active[connected[risky]] = True
-                else:
-                    choice = pick_targets(cands, eligible, tie_rng)
-                has = choice >= 0
-                target = own.copy()
-                target[has] = cands.labels[choice[has]]
-                moving = np.flatnonzero(target != own)
-                if moving.size:
-                    m_nodes, m_own = connected[moving], own[moving]
-                    m_target, m_c = target[moving], c_v[moving]
-                    m_evict = evicting[moving]
-                    keep = capped_inflow_mask(
-                        m_target, m_c, local_net[m_target], inflow_budget[m_target]
-                    )
-                    if frontier_mode and not keep.all():
-                        next_active[m_nodes[~keep]] = True
-                    m_nodes, m_own = m_nodes[keep], m_own[keep]
-                    m_target, m_c = m_target[keep], m_c[keep]
-                    m_evict = m_evict[keep]
-                    np.add.at(local_net, m_target, m_c)
-                    np.subtract.at(local_net, m_own, m_c)
-                    np.add.at(local_out, m_own[m_evict], m_c[m_evict])
-                    labels[m_nodes] = m_target
-                    changed_mask[m_nodes[interface[m_nodes]]] = True
-                    phase_moves += int(m_nodes.size)
-                    if frontier_mode and m_nodes.size:
-                        next_active[m_nodes] = True
-                        nbrs = gather_neighbors(m_nodes, xadj, adjncy)
-                        local_nbrs = nbrs[nbrs < n_local]
-                        next_active[local_nbrs] = True
-                        active_set[local_nbrs] = True
-            # Isolated nodes: balance repair within the eviction budget,
-            # node-at-a-time against the live views (rare, O(k) each).
-            for v in nodes[node_deg == 0].tolist():
-                own_v = int(labels[v])
-                if exact[own_v] <= bound or local_out[own_v] >= evict_budget[own_v]:
-                    continue
-                c = int(vwgt_all[v])
-                eligible_blocks = (local_net + c) <= inflow_budget
-                eligible_blocks[own_v] = False
-                if not eligible_blocks.any():
-                    continue
-                load = np.where(
-                    eligible_blocks, exact + local_net, np.iinfo(np.int64).max
-                )
-                b = int(np.argmin(load))
-                local_net[own_v] -= c
-                local_net[b] += c
-                local_out[own_v] += c
-                labels[v] = b
-                phase_moves += 1
-                if frontier_mode:
-                    next_active[v] = True
-                if interface[v]:
-                    changed_mask[v] = True
-        comm.work(arcs_scanned)
-
-        ghost_idx, ghost_vals = _exchange_interface_labels(
-            dgraph, comm, labels, changed_mask, delta
-        )
-        if ghost_idx.size:
-            if frontier_mode:
-                diff = labels[ghost_idx] != ghost_vals
-                if diff.any():
-                    gxadj, gsrc = dgraph.ghost_sources()
-                    next_active[
-                        gather_neighbors(ghost_idx[diff] - n_local, gxadj, gsrc)
-                    ] = True
-            labels[ghost_idx] = ghost_vals
-
-        # Restore exact weights with one allreduce (Section IV-B).
-        exact = exact_block_weights(dgraph, comm, labels, k)
-
-        global_changed = int(comm.allreduce(int(changed_mask.sum())))
-        lp_span.set(moved=phase_moves, arcs=arcs_scanned, chunks=n_chunks,
-                    global_changed=global_changed, active=scanned,
-                    frontier_frac=round(scanned / max(1, n_local), 4))
-        if TRACER.enabled:
-            TRACER.metrics.counter("lp.iterations").inc()
-            TRACER.metrics.counter("lp.moved_nodes").inc(phase_moves)
-        lp_span.__exit__(None, None, None)
-        if frontier_mode:
-            active_set = next_active
-        if global_changed == 0:
-            break
-    return labels
-
-
-# ----------------------------------------------------------------------
-# Legacy scan engine (node-at-a-time, Python lists)
-# ----------------------------------------------------------------------
-
-def _scan_cluster_phases(
-    dgraph: DistGraph,
-    comm: SimComm,
-    labels: np.ndarray,
-    vwgt_all_arr: np.ndarray,
-    constraint: np.ndarray | None,
-    interface: np.ndarray,
-    tie_seed: int,
-    bound: int,
-    iterations: int,
-    delta: bool,
-) -> np.ndarray:
-    """Clustering regime, node-at-a-time (Section IV-B, coarsening)."""
-    n_local = dgraph.n_local
-    xadj = dgraph.xadj.tolist()
-    adjncy = dgraph.adjncy.tolist()
-    adjwgt = dgraph.adjwgt.tolist()
-    label_list = labels.tolist()
-    constraint_list = None if constraint is None else constraint.tolist()
-    vwgt_all = vwgt_all_arr.tolist()
-    tie_rng = _pyrandom.Random(tie_seed)
-
-    weight_view: dict[int, int] = {}
-    for lid in range(dgraph.n_total):
-        lab = label_list[lid]
-        weight_view[lab] = weight_view.get(lab, 0) + vwgt_all[lid]
-
-    degree_order = np.argsort(dgraph.degrees, kind="stable").tolist()
-    for _phase in range(max(0, iterations)):
-        lp_span = TRACER.span(
-            "lp.iteration", comm=comm, engine="scan", mode="cluster",
-            iteration=_phase, constrained=constraint is not None,
-        )
-        lp_span.__enter__()
-        changed: list[int] = []
-        arcs_scanned = 0
-        phase_moves = 0
-        for v in degree_order:
-            begin, end = xadj[v], xadj[v + 1]
-            if begin == end:
-                continue
-            arcs_scanned += end - begin
-            own = label_list[v]
-            my_constraint = constraint_list[v] if constraint_list is not None else None
-
-            conn: dict[int, int] = {}
-            for idx in range(begin, end):
-                u = adjncy[idx]
-                if my_constraint is not None and constraint_list[u] != my_constraint:
-                    continue
-                lab = label_list[u]
-                conn[lab] = conn.get(lab, 0) + adjwgt[idx]
-            conn.setdefault(own, 0)
-
-            c_v = vwgt_all[v]
-            best_weight = -1
-            best_labels: list[int] = []
-            for lab, strength in conn.items():
-                if lab != own and weight_view.get(lab, 0) + c_v > bound:
-                    continue
-                if strength > best_weight:
-                    best_weight = strength
-                    best_labels = [lab]
-                elif strength == best_weight:
-                    best_labels.append(lab)
-            if not best_labels:
-                continue
-            target = (
-                best_labels[0]
-                if len(best_labels) == 1
-                else best_labels[tie_rng.randrange(len(best_labels))]
-            )
-            if target != own:
-                weight_view[own] = weight_view.get(own, 0) - c_v
-                weight_view[target] = weight_view.get(target, 0) + c_v
-                label_list[v] = target
-                phase_moves += 1
-                if interface[v]:
-                    changed.append(v)
-        comm.work(arcs_scanned)
-
-        changed_mask = np.zeros(n_local, dtype=bool)
-        changed_mask[changed] = True
-        labels_arr = np.asarray(label_list, dtype=np.int64)
-        ghost_idx, ghost_vals = _exchange_interface_labels(
-            dgraph, comm, labels_arr, changed_mask, delta
-        )
-        for gi, new_lab in zip(ghost_idx.tolist(), ghost_vals.tolist()):
-            old = label_list[gi]
-            if old == new_lab:
-                continue
-            w = vwgt_all[gi]
-            weight_view[old] = weight_view.get(old, 0) - w
-            weight_view[new_lab] = weight_view.get(new_lab, 0) + w
-            label_list[gi] = new_lab
-
-        global_changed = int(comm.allreduce(len(changed)))
-        lp_span.set(moved=phase_moves, arcs=arcs_scanned,
-                    global_changed=global_changed)
-        if TRACER.enabled:
-            TRACER.metrics.counter("lp.iterations").inc()
-            TRACER.metrics.counter("lp.moved_nodes").inc(phase_moves)
-        lp_span.__exit__(None, None, None)
-        if global_changed == 0:
-            break
-
-    return np.asarray(label_list, dtype=np.int64)
-
-
-def _scan_refine_phases(
-    dgraph: DistGraph,
-    comm: SimComm,
-    labels: np.ndarray,
-    vwgt_all_arr: np.ndarray,
-    constraint: np.ndarray | None,
-    interface: np.ndarray,
-    tie_seed: int,
-    bound: int,
-    k: int,
-    iterations: int,
-    delta: bool,
-) -> np.ndarray:
-    """Refinement regime: exact weights per phase, per-PE budget shares."""
-    n_local = dgraph.n_local
-    size = comm.size
-    xadj = dgraph.xadj.tolist()
-    adjncy = dgraph.adjncy.tolist()
-    adjwgt = dgraph.adjwgt.tolist()
-    label_list = labels.tolist()
-    constraint_list = None if constraint is None else constraint.tolist()
-    vwgt_all = vwgt_all_arr.tolist()
-    tie_rng = _pyrandom.Random(tie_seed)
-
-    exact = exact_block_weights(
-        dgraph, comm, np.asarray(label_list, dtype=np.int64), k
-    ).tolist()
-
-    for _phase in range(max(0, iterations)):
-        lp_span = TRACER.span(
-            "lp.iteration", comm=comm, engine="scan", mode="refine",
-            iteration=_phase, constrained=constraint is not None,
-        )
-        lp_span.__enter__()
-        # Per-PE budgets for this phase (see module docstring).
-        inflow_budget = [max(0.0, (bound - exact[b]) / size) for b in range(k)]
-        evict_budget = [max(0.0, (exact[b] - bound) / size) for b in range(k)]
-        local_net = [0] * k  # this PE's net weight added to each block
-        local_out = [0] * k  # weight this PE evicted from overloaded blocks
-
-        changed: list[int] = []
-        arcs_scanned = 0
-        phase_moves = 0
-        for v in comm.rng.permutation(n_local).tolist():
-            begin, end = xadj[v], xadj[v + 1]
-            own = label_list[v]
-            if begin == end:
-                # Isolated node: may still repair balance (see the
-                # sequential engine) within this PE's eviction budget.
-                c_v = vwgt_all[v]
-                if exact[own] > bound and local_out[own] < evict_budget[own]:
-                    candidates = [
-                        b for b in range(k)
-                        if b != own and local_net[b] + c_v <= inflow_budget[b]
-                    ]
-                    if candidates:
-                        target = min(candidates, key=lambda b: exact[b] + local_net[b])
-                        local_net[own] -= c_v
-                        local_net[target] += c_v
-                        local_out[own] += c_v
-                        label_list[v] = target
-                        phase_moves += 1
-                        if interface[v]:
-                            changed.append(v)
-                continue
-            arcs_scanned += end - begin
-            my_constraint = constraint_list[v] if constraint_list is not None else None
-
-            conn: dict[int, int] = {}
-            for idx in range(begin, end):
-                u = adjncy[idx]
-                if my_constraint is not None and constraint_list[u] != my_constraint:
-                    continue
-                lab = label_list[u]
-                conn[lab] = conn.get(lab, 0) + adjwgt[idx]
-
-            c_v = vwgt_all[v]
-            evicting = exact[own] > bound and local_out[own] < evict_budget[own]
-            if not evicting:
-                conn.setdefault(own, 0)
-
-            best_weight = -1
-            best_labels: list[int] = []
-            for lab, strength in conn.items():
-                if lab == own:
-                    if evicting:
-                        continue
-                elif local_net[lab] + c_v > inflow_budget[lab]:
-                    continue  # this PE's share of block `lab` is used up
-                if strength > best_weight:
-                    best_weight = strength
-                    best_labels = [lab]
-                elif strength == best_weight:
-                    best_labels.append(lab)
-            if not best_labels:
-                continue
-            target = (
-                best_labels[0]
-                if len(best_labels) == 1
-                else best_labels[tie_rng.randrange(len(best_labels))]
-            )
-            if target != own:
-                local_net[own] -= c_v
-                local_net[target] += c_v
-                if evicting:
-                    local_out[own] += c_v
-                label_list[v] = target
-                phase_moves += 1
-                if interface[v]:
-                    changed.append(v)
-        comm.work(arcs_scanned)
-
-        changed_mask = np.zeros(n_local, dtype=bool)
-        changed_mask[changed] = True
-        labels_arr = np.asarray(label_list, dtype=np.int64)
-        ghost_idx, ghost_vals = _exchange_interface_labels(
-            dgraph, comm, labels_arr, changed_mask, delta
-        )
-        for gi, new_lab in zip(ghost_idx.tolist(), ghost_vals.tolist()):
-            label_list[gi] = new_lab
-
-        # Restore exact weights with one allreduce (Section IV-B).
-        exact = exact_block_weights(
-            dgraph, comm, np.asarray(label_list, dtype=np.int64), k
-        ).tolist()
-
-        global_changed = int(comm.allreduce(len(changed)))
-        lp_span.set(moved=phase_moves, arcs=arcs_scanned,
-                    global_changed=global_changed)
-        if TRACER.enabled:
-            TRACER.metrics.counter("lp.iterations").inc()
-            TRACER.metrics.counter("lp.moved_nodes").inc(phase_moves)
-        lp_span.__exit__(None, None, None)
-        if global_changed == 0:
-            break
-
-    return np.asarray(label_list, dtype=np.int64)

@@ -17,6 +17,14 @@ Per V-cycle, the SPMD program on every PE:
    propagation with the hard constraint ``W = Lmax`` after each
    projection.
 
+The cycle skeleton — level loops, spans, events, phase accounting — is
+the shared driver :func:`repro.engine.vcycle.run_vcycle`; this module
+binds its hooks to the SPMD substrate (:class:`SpmdVcycleBackend`: ghost
+CSR, halo exchanges, allreduced statistics, memory-budget charges) and
+keeps the public API.  Every hook that communicates is collective over
+``comm`` and is reached identically on every rank, preserving the
+lock-step protocol of the simulated runtime.
+
 Quality numbers are real outputs; times are the simulated clocks of the
 machine model.
 """
@@ -29,6 +37,7 @@ import numpy as np
 
 from ..core.config import PartitionConfig, fast_config
 from ..core.multilevel import detect_social
+from ..engine.vcycle import run_vcycle
 from ..evolutionary.kaffpae import KaffpaeOptions, kaffpae_partition
 from ..graph.csr import Graph
 from ..graph.validation import max_block_weight_bound
@@ -42,19 +51,29 @@ from .dist_contraction import parallel_contract, parallel_uncoarsen
 from .dist_lp import distributed_edge_cut, parallel_label_propagation
 from .runtime import run_spmd
 
-__all__ = ["ParallelResult", "parallel_partition", "parhip_program"]
+__all__ = [
+    "ParallelResult",
+    "SpmdVcycleBackend",
+    "parallel_partition",
+    "parhip_program",
+]
 
 
 @dataclass(frozen=True)
 class ParallelResult:
-    """Outcome of one parallel partitioning run."""
+    """Outcome of one parallel partitioning run.
+
+    ``phase_times`` maps pipeline phase to this rank's simulated seconds
+    spent in it; its key set is exactly ``{"coarsening", "initial",
+    "refinement"}``, matching the engine's pipeline span names.
+    """
 
     partition: np.ndarray
     quality: PartitionQuality
     sim_time: float  # simulated seconds (machine model)
     num_pes: int
     coarse_sizes: tuple[int, ...]  # global node count after each level
-    phase_times: dict = field(default_factory=dict)
+    phase_times: dict[str, float] = field(default_factory=dict)
 
     @property
     def cut(self) -> int:
@@ -79,6 +98,232 @@ def _collect_replica(dgraph: DistGraph, comm: SimComm) -> Graph:
     xadj = np.zeros(n + 1, dtype=np.int64)
     np.cumsum(np.bincount(all_src, minlength=n), out=xadj[1:])
     return Graph(xadj, all_dst[order], all_vwgt, all_wgt[order], name="coarsest-replica")
+
+
+class SpmdVcycleBackend:
+    """SPMD binding of the V-cycle backend protocol (collective hooks).
+
+    One instance drives one V-cycle on one rank.  ``current`` tracks the
+    distributed graph of the level being built; the partition state
+    handed through the uncoarsening hooks is a ghost-extended label
+    array (length ``n_total`` of the level's fine graph), except at the
+    coarsest level where :meth:`initial_partition` returns this rank's
+    local slice of the replica-wide KaFFPaE partition.
+    """
+
+    def __init__(
+        self,
+        dgraph: DistGraph,
+        comm: SimComm,
+        config: PartitionConfig,
+        lmax: int,
+        partition_local: np.ndarray | None,
+        budget: MemoryBudget | None,
+        memory_scale: float = 1.0,
+        replica_memory_scale: float | None = None,
+    ):
+        self.dgraph = dgraph
+        self.comm = comm
+        self.config = config
+        self.lmax = lmax
+        self.partition_local = partition_local
+        self.budget = budget
+        self.memory_scale = memory_scale
+        self.replica_memory_scale = replica_memory_scale
+        self.current = dgraph
+        self.constraint: np.ndarray | None = None
+        self.level_charges: list[float] = []
+        # Global fine edge count of the current level, maintained only
+        # while tracing (one extra allreduce per level, uniform across
+        # ranks because TRACER.enabled is process-global).
+        self.traced_edges: int | None = None
+        self._replica: Graph | None = None
+        self._coarsest_partition: np.ndarray | None = None
+
+    @property
+    def emits_events(self) -> bool:
+        return self.comm.rank == 0
+
+    def span_kwargs(self) -> dict:
+        return {"comm": self.comm}
+
+    def clock(self) -> float:
+        return self.comm.sim_time
+
+    # --- coarsening ---
+
+    def begin_coarsening(self) -> None:
+        if self.partition_local is not None:
+            constraint = np.zeros(self.dgraph.n_total, dtype=np.int64)
+            constraint[: self.dgraph.n_local] = self.partition_local
+            self.dgraph.halo_exchange(self.comm, constraint)
+            self.constraint = constraint
+        if TRACER.enabled:
+            self.traced_edges = int(self.comm.allreduce(self.current.num_arcs)) // 2
+
+    def current_size(self) -> int:
+        return self.current.n_global
+
+    def max_node_weight(self) -> int:
+        # The max node weight is global, hence one allreduce per level.
+        local_max = int(self.current.vwgt.max(initial=1))
+        return int(self.comm.allreduce_max(local_max))
+
+    def cluster(self, level_bound: int) -> np.ndarray:
+        init_labels = self.current.to_global(
+            np.arange(self.current.n_total, dtype=np.int64)
+        )
+        return parallel_label_propagation(
+            self.current,
+            self.comm,
+            init_labels,
+            level_bound,
+            self.config.coarsening_iterations,
+            mode="cluster",
+            constraint=self.constraint,
+            chunk_size=self.config.lp_chunk_size,
+            engine=self.config.lp_engine,
+        )
+
+    def contract(self, labels: np.ndarray):
+        return parallel_contract(
+            self.current, self.comm, labels, constraint=self.constraint
+        )
+
+    def coarse_size(self, level) -> int:
+        return level.coarse.n_global
+
+    def advance(self, level) -> None:
+        self.current = level.coarse
+
+    def coarsen_level_stats(self, level) -> dict:
+        coarse_edges = int(self.comm.allreduce(self.current.num_arcs)) // 2
+        stats = {
+            "fine_nodes": level.fine.n_global,
+            "fine_edges": self.traced_edges,
+            "coarse_nodes": level.coarse.n_global,
+            "coarse_edges": coarse_edges,
+        }
+        self.traced_edges = coarse_edges
+        return stats
+
+    def charge_level(self, level) -> None:
+        if self.budget is not None:
+            global_arcs = int(self.comm.allreduce(self.current.num_arcs))
+            level_bytes = estimate_graph_bytes(
+                -(-self.current.n_global // self.comm.size),
+                -(-(global_arcs // 2) // self.comm.size),
+            )
+            self.budget.charge(level_bytes, "coarse level")
+            self.level_charges.append(level_bytes)
+
+    def project_constraint(self, level) -> None:
+        if self.constraint is not None:
+            extended = np.zeros(self.current.n_total, dtype=np.int64)
+            extended[: self.current.n_local] = level.coarse_constraint
+            self.current.halo_exchange(self.comm, extended)
+            self.constraint = extended
+
+    # --- initial partitioning ---
+
+    def initial_partition(self) -> np.ndarray:
+        replica = _collect_replica(self.current, self.comm)
+        if self.budget is not None:
+            # The replica is charged with its own scale: the paper stops
+            # coarsening at 10 000*k of >10^8 nodes (a ~0.1 % fraction),
+            # whereas our scaled-down coarsest is a few percent of the
+            # stand-in — applying the instance byte-scale directly would
+            # overstate the paper-scale replica by that fraction ratio.
+            ratio = (
+                self.replica_memory_scale / self.memory_scale
+                if self.replica_memory_scale is not None
+                else 1.0
+            )
+            self.budget.charge(
+                estimate_graph_bytes(replica.num_nodes, replica.num_edges) * ratio,
+                "replicated coarsest graph",
+            )
+        seed_partition = None
+        if self.constraint is not None:
+            seed_partition = self.current.gather_global(self.comm, self.constraint)
+        ea_options = KaffpaeOptions(
+            population_size=self.config.population_size,
+            rounds=self.config.evolution_rounds,
+        )
+        if self.config.flow_refinement:
+            from ..kaffpa.driver import KaffpaOptions
+
+            ea_options = KaffpaeOptions(
+                population_size=self.config.population_size,
+                rounds=self.config.evolution_rounds,
+                engine=KaffpaOptions(
+                    coarsening="matching",
+                    coarsest_nodes=40,
+                    flow_refinement_below=1_000_000,
+                ),
+            )
+        coarsest_partition = kaffpae_partition(
+            self.comm,
+            replica,
+            self.config.k,
+            self.config.epsilon,
+            ea_options,
+            seed_individual=seed_partition,
+        )
+        self._replica = replica
+        self._coarsest_partition = coarsest_partition
+        return coarsest_partition[
+            self.current.first : self.current.first + self.current.n_local
+        ]
+
+    def initial_stats(self, partition: np.ndarray) -> tuple[int, int]:
+        cut = int(edge_cut(self._replica, self._coarsest_partition))
+        return self._replica.num_nodes, cut
+
+    # --- uncoarsening ---
+
+    def coarsest_refine(self, partition: np.ndarray) -> np.ndarray:
+        # No coarsest-level refinement: KaFFPaE's output goes straight
+        # into the uncoarsening loop.
+        return partition
+
+    def initial_cut_fields(
+        self, partition: np.ndarray, stats: tuple[int, int]
+    ) -> dict:
+        nodes, cut = stats
+        return {"nodes": nodes, "cut": cut}
+
+    def project(self, level, partition: np.ndarray) -> np.ndarray:
+        partition_local = parallel_uncoarsen(
+            level, self.comm, partition[: level.coarse.n_local]
+        )
+        labels = np.zeros(level.fine.n_total, dtype=np.int64)
+        labels[: level.fine.n_local] = partition_local
+        level.fine.halo_exchange(self.comm, labels)
+        return labels
+
+    def refine_level(self, level, partition: np.ndarray) -> np.ndarray:
+        return parallel_label_propagation(
+            level.fine,
+            self.comm,
+            partition,
+            self.lmax,
+            self.config.refinement_iterations,
+            mode="refine",
+            k=self.config.k,
+            chunk_size=self.config.lp_chunk_size,
+            engine=self.config.lp_engine,
+        )
+
+    def level_cut(self, level, partition: np.ndarray) -> int:
+        return distributed_edge_cut(level.fine, self.comm, partition)
+
+    def level_nodes(self, level) -> int:
+        return level.fine.n_global
+
+    def release_level(self) -> None:
+        if self.budget is not None and self.level_charges:
+            self.budget.release(self.level_charges.pop())
 
 
 def parhip_program(
@@ -139,202 +384,23 @@ def parhip_program(
         cycle_span = TRACER.span("vcycle", comm=comm, cycle=cycle,
                                  factor=float(factor))
         cycle_span.__enter__()
-
-        # ------------------------------------------------------------------
-        # Parallel coarsening
-        # ------------------------------------------------------------------
-        t0 = comm.sim_time
-        coarsen_span = TRACER.span("coarsening", comm=comm, cycle=cycle)
-        coarsen_span.__enter__()
-        constraint: np.ndarray | None = None
-        if partition_local is not None:
-            constraint = np.zeros(dgraph.n_total, dtype=np.int64)
-            constraint[: dgraph.n_local] = partition_local
-            dgraph.halo_exchange(comm, constraint)
-
-        levels = []
-        level_charges: list[float] = []
-        current = dgraph
-        current_constraint = constraint
-        # Global fine edge count of the current level, maintained only
-        # while tracing (one extra allreduce per level, uniform across
-        # ranks because TRACER.enabled is process-global).
-        traced_edges: int | None = None
-        if TRACER.enabled:
-            traced_edges = int(comm.allreduce(current.num_arcs)) // 2
-        while current.n_global > config.coarsest_target():
-            level_span = TRACER.span("coarsen.level", comm=comm, cycle=cycle,
-                                     level=len(levels))
-            level_span.__enter__()
-            # Same per-level bound adaptation as the sequential coarsener;
-            # the max node weight is global, hence one allreduce.
-            local_max = int(current.vwgt.max(initial=1))
-            global_max = int(comm.allreduce_max(local_max))
-            cap = max(2, lmax // 4)
-            level_bound = min(max(max_cluster_weight, 2 * global_max), cap)
-            init_labels = current.to_global(np.arange(current.n_total, dtype=np.int64))
-            labels = parallel_label_propagation(
-                current,
-                comm,
-                init_labels,
-                level_bound,
-                config.coarsening_iterations,
-                mode="cluster",
-                constraint=current_constraint,
-                chunk_size=config.lp_chunk_size,
-                engine=config.lp_engine,
-            )
-            contraction = parallel_contract(
-                current,
-                comm,
-                labels,
-                constraint=None if current_constraint is None
-                else current_constraint,
-            )
-            if contraction.coarse.n_global >= config.min_shrink_factor * current.n_global:
-                level_span.set(stalled=True)
-                level_span.__exit__(None, None, None)
-                break  # coarsening stalled; partition what we have
-            levels.append(contraction)
-            current = contraction.coarse
-            coarse_sizes.append(current.n_global)
-            if TRACER.enabled:
-                coarse_edges = int(comm.allreduce(current.num_arcs)) // 2
-                fine_n = contraction.fine.n_global
-                coarse_n = current.n_global
-                shrink = fine_n / max(1, coarse_n)
-                level_span.set(fine_nodes=fine_n, coarse_nodes=coarse_n)
-                if comm.rank == 0:
-                    TRACER.event(
-                        "coarsen.level", cycle=cycle, level=len(levels) - 1,
-                        fine_nodes=fine_n, fine_edges=traced_edges,
-                        coarse_nodes=coarse_n, coarse_edges=coarse_edges,
-                        shrink=shrink,
-                    )
-                    TRACER.metrics.counter("coarsen.levels").inc()
-                    TRACER.metrics.histogram("coarsen.shrink").observe(shrink)
-                traced_edges = coarse_edges
-            if budget is not None:
-                global_arcs = int(comm.allreduce(current.num_arcs))
-                level_bytes = estimate_graph_bytes(
-                    -(-current.n_global // comm.size),
-                    -(-(global_arcs // 2) // comm.size),
-                )
-                budget.charge(level_bytes, "coarse level")
-                level_charges.append(level_bytes)
-            if current_constraint is not None:
-                extended = np.zeros(current.n_total, dtype=np.int64)
-                extended[: current.n_local] = contraction.coarse_constraint
-                current.halo_exchange(comm, extended)
-                current_constraint = extended
-            level_span.__exit__(None, None, None)
-        phase_times["coarsening"] += comm.sim_time - t0
-        coarsen_span.set(levels=len(levels))
-        coarsen_span.__exit__(None, None, None)
-
-        # ------------------------------------------------------------------
-        # Initial partitioning: replicate coarsest + KaFFPaE
-        # ------------------------------------------------------------------
-        t0 = comm.sim_time
-        init_span = TRACER.span("initial", comm=comm, cycle=cycle)
-        init_span.__enter__()
-        replica = _collect_replica(current, comm)
-        if budget is not None:
-            # The replica is charged with its own scale: the paper stops
-            # coarsening at 10 000*k of >10^8 nodes (a ~0.1 % fraction),
-            # whereas our scaled-down coarsest is a few percent of the
-            # stand-in — applying the instance byte-scale directly would
-            # overstate the paper-scale replica by that fraction ratio.
-            ratio = (
-                replica_memory_scale / memory_scale
-                if replica_memory_scale is not None
-                else 1.0
-            )
-            budget.charge(
-                estimate_graph_bytes(replica.num_nodes, replica.num_edges) * ratio,
-                "replicated coarsest graph",
-            )
-        seed_partition = None
-        if current_constraint is not None:
-            seed_partition = current.gather_global(comm, current_constraint)
-        ea_options = KaffpaeOptions(
-            population_size=config.population_size,
-            rounds=config.evolution_rounds,
+        backend = SpmdVcycleBackend(
+            dgraph,
+            comm,
+            config,
+            lmax,
+            partition_local,
+            budget,
+            memory_scale=memory_scale,
+            replica_memory_scale=replica_memory_scale,
         )
-        if config.flow_refinement:
-            from ..kaffpa.driver import KaffpaOptions
-
-            ea_options = KaffpaeOptions(
-                population_size=config.population_size,
-                rounds=config.evolution_rounds,
-                engine=KaffpaOptions(
-                    coarsening="matching",
-                    coarsest_nodes=40,
-                    flow_refinement_below=1_000_000,
-                ),
-            )
-        coarsest_partition = kaffpae_partition(
-            comm, replica, k, config.epsilon, ea_options, seed_individual=seed_partition
+        out = run_vcycle(backend, config, lmax, max_cluster_weight, cycle=cycle)
+        partition_local = np.asarray(
+            out.partition[: dgraph.n_local], dtype=np.int64
         )
-        partition_local = coarsest_partition[
-            current.first : current.first + current.n_local
-        ]
-        if TRACER.enabled:
-            init_cut = int(edge_cut(replica, coarsest_partition))
-            init_span.set(nodes=replica.num_nodes, cut=init_cut)
-            if comm.rank == 0:
-                TRACER.event("initial.cut", cycle=cycle,
-                             nodes=replica.num_nodes, cut=init_cut)
-        phase_times["initial"] += comm.sim_time - t0
-        init_span.__exit__(None, None, None)
-
-        # ------------------------------------------------------------------
-        # Uncoarsening with parallel LP refinement
-        # ------------------------------------------------------------------
-        t0 = comm.sim_time
-        refine_span = TRACER.span("refinement", comm=comm, cycle=cycle)
-        refine_span.__enter__()
-        for level_idx in range(len(levels) - 1, -1, -1):
-            contraction = levels[level_idx]
-            fine = contraction.fine
-            level_span = TRACER.span("uncoarsen.level", comm=comm, cycle=cycle,
-                                     level=level_idx)
-            level_span.__enter__()
-            partition_local = parallel_uncoarsen(contraction, comm, partition_local)
-            labels = np.zeros(fine.n_total, dtype=np.int64)
-            labels[: fine.n_local] = partition_local
-            fine.halo_exchange(comm, labels)
-            cut_projected: int | None = None
-            if TRACER.enabled:
-                cut_projected = distributed_edge_cut(fine, comm, labels)
-            labels = parallel_label_propagation(
-                fine,
-                comm,
-                labels,
-                lmax,
-                config.refinement_iterations,
-                mode="refine",
-                k=k,
-                chunk_size=config.lp_chunk_size,
-                engine=config.lp_engine,
-            )
-            partition_local = labels[: fine.n_local]
-            if TRACER.enabled:
-                cut_refined = distributed_edge_cut(fine, comm, labels)
-                level_span.set(cut_projected=cut_projected,
-                               cut_refined=cut_refined)
-                if comm.rank == 0:
-                    TRACER.event(
-                        "uncoarsen.level", cycle=cycle, level=level_idx,
-                        nodes=fine.n_global, cut_projected=cut_projected,
-                        cut_refined=cut_refined,
-                    )
-                    TRACER.metrics.gauge("partition.cut").set(cut_refined)
-            level_span.__exit__(None, None, None)
-            if budget is not None and level_charges:
-                budget.release(level_charges.pop())
-        phase_times["refinement"] += comm.sim_time - t0
-        refine_span.__exit__(None, None, None)
+        coarse_sizes.extend(out.coarse_sizes)
+        for phase, elapsed in out.phase_times.items():
+            phase_times[phase] += elapsed
         cycle_span.__exit__(None, None, None)
 
     assert partition_local is not None

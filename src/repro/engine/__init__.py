@@ -1,0 +1,31 @@
+"""Backend-abstracted partition engine.
+
+One SCLP iteration driver (:func:`~repro.engine.sclp.run_sclp`) and one
+multilevel V-cycle driver (:func:`~repro.engine.vcycle.run_vcycle`),
+parameterized by the :class:`~repro.engine.backend.ExecutionBackend`
+protocol; :class:`~repro.engine.backend.LocalBackend` binds them to the
+sequential NumPy substrate, :class:`~repro.engine.backend.SpmdBackend`
+to the simulated distributed-memory one.  The legacy entry points in
+:mod:`repro.core` and :mod:`repro.dist` are thin wrappers over these.
+"""
+
+from .backend import (
+    ExecutionBackend,
+    LocalBackend,
+    SpmdBackend,
+    exchange_interface_labels,
+)
+from .sclp import run_sclp
+from .vcycle import VcycleBackend, VcycleResult, run_coarsening, run_vcycle
+
+__all__ = [
+    "ExecutionBackend",
+    "LocalBackend",
+    "SpmdBackend",
+    "exchange_interface_labels",
+    "run_sclp",
+    "run_vcycle",
+    "run_coarsening",
+    "VcycleBackend",
+    "VcycleResult",
+]

@@ -1,0 +1,628 @@
+"""The backend-abstracted SCLP iteration driver (paper §III-A, §IV-B).
+
+One driver owns the size-constrained label-propagation loop for *both*
+pipelines: visit planning, chunk scheduling, frontier activation and
+reactivation, constraint accounting, and convergence.  Everything that
+differs between the sequential and the distributed run is either an
+:class:`~repro.engine.backend.ExecutionBackend` hook (halo exchange,
+work charging, block-weight reduction, convergence reduction, tie-hash
+id base) or one of two *weight regimes* selected by ``shares``:
+
+* ``shares=False`` — live accounting: one weight table updated on every
+  move, checked directly against the bound.  This is the sequential
+  semantics (and the clustering regime on both backends, where the view
+  is a local, optimistically-updated approximation).
+* ``shares=True`` — the paper's refinement regime: exact block weights
+  restored by a (backend) reduction at every phase boundary, and per-PE
+  1/p budget shares within the phase, so the bound holds even when every
+  PE exhausts its share.  On the local backend the reduction is a
+  ``bincount`` and the share is 1/1 — the exact p = 1 degeneration of
+  the SPMD semantics.
+
+Two scan engines implement a phase (selected by ``chunk``): the
+node-at-a-time Python scan (``chunk == 0``) and the vectorised chunked
+kernels of :mod:`repro.engine.kernels` (``chunk == 1`` is bit-identical
+to the scan, larger chunks trade phase-internal staleness for
+throughput).  Orthogonally ``engine`` picks the ``full`` sweep or the
+``frontier`` active-set filter (label-identical per iteration with the
+hash tie-break; see the PR-4 design notes in ``docs/algorithms.md``).
+
+Convergence is a backend hook: the local backend stops when a phase
+moves no node, the SPMD backend when the allreduced count of *changed
+interface labels* is zero — each preserving its pipeline's established
+(and baseline-pinned) semantics.
+"""
+
+from __future__ import annotations
+
+import random as _pyrandom
+
+import numpy as np
+
+from .kernels import (
+    FRONTIER_ENGINE,
+    FRONTIER_FULL_SWEEP_FRACTION,
+    aggregate_candidates,
+    candidate_tie_hash,
+    capped_inflow_mask,
+    chunk_ranges,
+    effective_chunk,
+    gather_neighbors,
+    make_tie_breaker,
+    pick_targets,
+    pick_targets_hashed,
+    plan_chunk,
+)
+from ..obsv.tracer import TRACER
+from .backend import ExecutionBackend
+
+__all__ = ["run_sclp"]
+
+_SENTINEL = np.iinfo(np.int64).max
+
+
+def run_sclp(
+    backend: ExecutionBackend,
+    labels: np.ndarray,
+    max_block_weight: int,
+    iterations: int,
+    *,
+    refine: bool = False,
+    shares: bool = False,
+    k: int | None = None,
+    ordering: str = "degree",
+    constraint: np.ndarray | None = None,
+    chunk: int = 0,
+    engine: str = "full",
+    tie_seed: int = 0,
+    delta: bool = True,
+    band: np.ndarray | None = None,
+) -> np.ndarray:
+    """Run SCLP phases on ``backend``; returns the new label array.
+
+    Collective over the backend's communicator.  ``labels`` (length
+    ``n_total``, consistent ghost entries) is not modified.  ``shares``
+    selects the weight regime (see module docstring); it requires ``k``.
+    ``band`` (scan engine only) restricts the visited nodes to the given
+    set — non-band nodes contribute weights and connections but never
+    move, and isolated nodes are skipped entirely (band refinement).
+    """
+    if shares and k is None:
+        raise ValueError("the budget-share regime requires k")
+    if ordering not in ("degree", "random"):
+        raise ValueError(f"unknown ordering {ordering!r}")
+    labels = np.asarray(labels, dtype=np.int64).copy()
+    bound = int(max_block_weight)
+    vwgt_all = backend.node_weights()
+    interface = backend.interface_mask()
+    constraint_arr = (
+        None if constraint is None else np.asarray(constraint, dtype=np.int64)
+    )
+    if chunk == 0:
+        return _scan_phases(
+            backend, labels, bound, iterations, refine, shares, k,
+            ordering, constraint_arr, tie_seed, delta, vwgt_all, interface,
+            band,
+        )
+    if band is not None:
+        raise ValueError("band refinement only supports the scan engine")
+    return _chunked_phases(
+        backend, labels, bound, iterations, refine, shares, k,
+        ordering, constraint_arr, chunk, engine, tie_seed, delta,
+        vwgt_all, interface,
+    )
+
+
+# ----------------------------------------------------------------------
+# Chunked engine (vectorised kernels)
+# ----------------------------------------------------------------------
+
+def _chunked_phases(
+    backend: ExecutionBackend,
+    labels: np.ndarray,
+    bound: int,
+    iterations: int,
+    refine: bool,
+    shares: bool,
+    k: int | None,
+    ordering: str,
+    constraint: np.ndarray | None,
+    chunk: int,
+    engine: str,
+    tie_seed: int,
+    delta: bool,
+    vwgt_all: np.ndarray,
+    interface: np.ndarray,
+) -> np.ndarray:
+    """Chunked-kernel phases: eligibility against a chunk-start snapshot,
+    committed between chunks with the inflow cap, so the bound (or the
+    1/p budget share) holds exactly despite the staleness."""
+    n_local = backend.n_local
+    xadj, adjncy, adjwgt = backend.xadj, backend.adjncy, backend.adjwgt
+    degrees = backend.degrees
+    frontier_mode = engine == FRONTIER_ENGINE
+    hashed = frontier_mode or chunk > 1
+    tie_rng = None if hashed else make_tie_breaker(tie_seed, chunk)
+    tie_base = backend.tie_base
+    mode_name = "refine" if refine else "cluster"
+
+    weight = local_net = local_out = inflow_budget = evict_budget = exact = None
+    if refine:
+        if shares:
+            space = int(k)
+            exact = backend.reduce_block_weights(labels, space)
+            local_net = np.zeros(space, dtype=np.int64)
+            local_out = np.zeros(space, dtype=np.int64)
+        else:
+            space = int(labels.max()) + 1
+            weight = np.bincount(
+                labels, weights=vwgt_all, minlength=space
+            ).astype(np.int64)
+    else:
+        space = backend.label_space(labels)
+        weight = np.zeros(space, dtype=np.int64)
+        np.add.at(weight, labels, vwgt_all)
+
+    # Degree order is phase-invariant (and consumes no randomness), so
+    # the per-chunk arc structure can be planned once and re-aggregated
+    # every phase; random order needs fresh plans per phase, and the
+    # frontier engine re-plans any window it filters.
+    if ordering == "degree":
+        base_order = np.argsort(degrees, kind="stable")
+        if not refine:
+            base_order = base_order[degrees[base_order] > 0]
+    plan_cache: dict[tuple[int, int], object] = {}
+
+    def chunk_plan(nodes, lo, hi):
+        if ordering != "degree":
+            return plan_chunk(nodes, xadj, adjncy, adjwgt, constraint)
+        key = (lo, hi)
+        plan = plan_cache.get(key)
+        if plan is None:
+            plan = plan_cache[key] = plan_chunk(
+                nodes, xadj, adjncy, adjwgt, constraint
+            )
+        return plan
+
+    active = np.ones(n_local, dtype=bool)
+    for _phase in range(max(0, iterations)):
+        if ordering == "degree":
+            order = base_order
+        else:
+            order = backend.rng.permutation(n_local)
+            if not refine:
+                order = order[degrees[order] > 0]
+        phase_chunk = effective_chunk(chunk, order.size)
+        lp_span = TRACER.span(
+            "lp.iteration", **backend.span_kwargs(), engine=engine,
+            mode=mode_name, iteration=_phase, chunk_size=phase_chunk,
+            constrained=constraint is not None,
+        )
+        lp_span.__enter__()
+        if shares:
+            inflow_budget = np.maximum(0.0, (bound - exact) / backend.size)
+            evict_budget = np.maximum(0.0, (exact - bound) / backend.size)
+            local_net[:] = 0
+            local_out[:] = 0
+        if frontier_mode and refine:
+            over = np.flatnonzero((exact if shares else weight) > bound)
+            if over.size:
+                # Eviction pressure reaches over-budget blocks' members
+                # even when their neighbourhood never changed.
+                active |= np.isin(labels[:n_local], over)
+        changed_mask = np.zeros(n_local, dtype=bool)
+        next_active = np.zeros(n_local, dtype=bool)
+        arcs_scanned = 0
+        moved = 0
+        scanned = 0
+        n_chunks = 0
+        # Scanning a superset of the active set is label-identical, so
+        # with cached degree-order plans the filtered re-plans only pay
+        # for themselves below ~half activity; random order re-plans
+        # every phase anyway, making filtering a pure win.
+        filtering = frontier_mode and (
+            ordering != "degree"
+            or order.size == 0
+            or active[order].mean() < FRONTIER_FULL_SWEEP_FRACTION
+        )
+        for lo, hi in chunk_ranges(order.size, phase_chunk):
+            n_chunks += 1
+            nodes = order[lo:hi]
+            full_window = True
+            if filtering:
+                live = active[nodes]
+                if not live.all():
+                    full_window = False
+                    nodes = nodes[live]
+                    if nodes.size == 0:
+                        continue
+            scanned += int(nodes.size)
+            if refine:
+                node_deg = degrees[nodes]
+                connected = nodes[node_deg > 0]
+            else:
+                connected = nodes
+            if connected.size:
+                own = labels[connected]
+                c_v = vwgt_all[connected]
+                if refine:
+                    if shares:
+                        evicting = (exact[own] > bound) & (
+                            local_out[own] < evict_budget[own]
+                        )
+                    else:
+                        evicting = weight[own] > bound
+                plan = (
+                    chunk_plan(connected, lo, hi)
+                    if full_window
+                    else plan_chunk(connected, xadj, adjncy, adjwgt, constraint)
+                )
+                cands = aggregate_candidates(
+                    plan, labels, space,
+                    exact_order=not hashed and chunk == 1,
+                )
+                arcs_scanned += cands.arcs_scanned
+                if shares:
+                    fits = (
+                        local_net[cands.labels] + c_v[cands.node_pos]
+                        <= inflow_budget[cands.labels]
+                    )
+                else:
+                    fits = weight[cands.labels] + c_v[cands.node_pos] <= bound
+                if refine:
+                    eligible = np.where(cands.is_own, ~evicting[cands.node_pos], fits)
+                else:
+                    eligible = cands.is_own | fits
+                if hashed:
+                    # hash *global* ids so tie decisions are a property of
+                    # the node, not of its rank-local numbering
+                    tie_ids = connected[cands.node_pos]
+                    if tie_base:
+                        tie_ids = tie_base + tie_ids
+                    tie_hash = candidate_tie_hash(tie_seed, tie_ids, cands.labels)
+                    choice, risky = pick_targets_hashed(cands, eligible, tie_hash)
+                    if frontier_mode and risky.any():
+                        next_active[connected[risky]] = True
+                else:
+                    choice = pick_targets(cands, eligible, tie_rng)
+                has = choice >= 0
+                target = own.copy()
+                target[has] = cands.labels[choice[has]]
+                moving = np.flatnonzero(target != own)
+                if moving.size:
+                    m_nodes, m_own = connected[moving], own[moving]
+                    m_target, m_c = target[moving], c_v[moving]
+                    if shares:
+                        m_evict = evicting[moving]
+                        keep = capped_inflow_mask(
+                            m_target, m_c, local_net[m_target],
+                            inflow_budget[m_target],
+                        )
+                    else:
+                        keep = capped_inflow_mask(
+                            m_target, m_c, weight[m_target],
+                            np.full(m_target.size, bound, dtype=np.int64),
+                        )
+                    if frontier_mode and not keep.all():
+                        # A capped node may succeed once the target drains.
+                        next_active[m_nodes[~keep]] = True
+                    m_nodes, m_own = m_nodes[keep], m_own[keep]
+                    m_target, m_c = m_target[keep], m_c[keep]
+                    if shares:
+                        m_evict = m_evict[keep]
+                        np.add.at(local_net, m_target, m_c)
+                        np.subtract.at(local_net, m_own, m_c)
+                        np.add.at(local_out, m_own[m_evict], m_c[m_evict])
+                    else:
+                        np.subtract.at(weight, m_own, m_c)
+                        np.add.at(weight, m_target, m_c)
+                    labels[m_nodes] = m_target
+                    changed_mask[m_nodes[interface[m_nodes]]] = True
+                    moved += int(m_nodes.size)
+                    if frontier_mode and m_nodes.size:
+                        next_active[m_nodes] = True
+                        nbrs = gather_neighbors(m_nodes, xadj, adjncy)
+                        local_nbrs = nbrs[nbrs < n_local]
+                        next_active[local_nbrs] = True
+                        # Later windows of this phase must rescan the
+                        # movers' neighbours too (within-phase propagation).
+                        active[local_nbrs] = True
+            if refine:
+                # Isolated nodes: balance repair against the live views,
+                # node-at-a-time (rare; matches the scan's first-minimal
+                # choice, budget-capped in the share regime).
+                for v in nodes[node_deg == 0].tolist():
+                    own_v = int(labels[v])
+                    c = int(vwgt_all[v])
+                    if shares:
+                        if (
+                            exact[own_v] <= bound
+                            or local_out[own_v] >= evict_budget[own_v]
+                        ):
+                            continue
+                        ok = (local_net + c) <= inflow_budget
+                        ok[own_v] = False
+                        if not ok.any():
+                            continue
+                        b = int(np.argmin(np.where(ok, exact + local_net, _SENTINEL)))
+                        local_net[own_v] -= c
+                        local_net[b] += c
+                        local_out[own_v] += c
+                    else:
+                        if weight[own_v] <= bound:
+                            continue
+                        ok = (weight + c) <= bound
+                        ok[own_v] = False
+                        if not ok.any():
+                            continue
+                        b = int(np.argmin(np.where(ok, weight, _SENTINEL)))
+                        weight[own_v] -= c
+                        weight[b] += c
+                    labels[v] = b
+                    moved += 1
+                    if frontier_mode:
+                        next_active[v] = True
+                    if interface[v]:
+                        changed_mask[v] = True
+        backend.work(arcs_scanned)
+
+        ghost_idx, ghost_vals = backend.exchange_labels(labels, changed_mask, delta)
+        if ghost_idx.size:
+            diff = labels[ghost_idx] != ghost_vals
+            if refine:
+                if frontier_mode and diff.any():
+                    next_active[backend.ghost_change_sources(ghost_idx[diff])] = True
+                labels[ghost_idx] = ghost_vals
+            elif diff.any():
+                old = labels[ghost_idx]
+                g_w = vwgt_all[ghost_idx[diff]]
+                np.subtract.at(weight, old[diff], g_w)
+                np.add.at(weight, ghost_vals[diff], g_w)
+                labels[ghost_idx[diff]] = ghost_vals[diff]
+                if frontier_mode:
+                    next_active[backend.ghost_change_sources(ghost_idx[diff])] = True
+
+        if shares:
+            # Restore exact weights with one reduction (Section IV-B).
+            exact = backend.reduce_block_weights(labels, space)
+
+        global_changed = backend.global_changed(moved, int(changed_mask.sum()))
+        lp_span.set(moved=moved, arcs=arcs_scanned, chunks=n_chunks,
+                    global_changed=global_changed, active=scanned,
+                    frontier_frac=round(scanned / max(1, order.size), 4))
+        if TRACER.enabled:
+            TRACER.metrics.counter("lp.iterations").inc()
+            TRACER.metrics.counter("lp.moved_nodes").inc(moved)
+        lp_span.__exit__(None, None, None)
+        if frontier_mode:
+            active = next_active
+        if global_changed == 0:
+            break
+    return labels
+
+
+# ----------------------------------------------------------------------
+# Scan engine (node-at-a-time, Python lists)
+# ----------------------------------------------------------------------
+
+def _scan_phases(
+    backend: ExecutionBackend,
+    labels: np.ndarray,
+    bound: int,
+    iterations: int,
+    refine: bool,
+    shares: bool,
+    k: int | None,
+    ordering: str,
+    constraint: np.ndarray | None,
+    tie_seed: int,
+    delta: bool,
+    vwgt_all: np.ndarray,
+    interface: np.ndarray,
+    band: np.ndarray | None,
+) -> np.ndarray:
+    """Node-at-a-time phases over plain Python lists (for strictly
+    sequential semantics list indexing beats NumPy scalar indexing by a
+    large factor)."""
+    n_local = backend.n_local
+    n_total = backend.n_total
+    xadj = backend.xadj.tolist()
+    adjncy = backend.adjncy.tolist()
+    adjwgt = backend.adjwgt.tolist()
+    label_list = labels.tolist()
+    constraint_list = None if constraint is None else constraint.tolist()
+    vwgt_list = vwgt_all.tolist()
+    # Scalar randomness via the stdlib generator (much cheaper per call
+    # than numpy's); seeded from the caller's generator for determinism.
+    tie_rng = _pyrandom.Random(tie_seed)
+    engine_name = "banded" if band is not None else "scan"
+    mode_name = "refine" if refine else "cluster"
+    track_changed = bool(interface.any())
+
+    weight_list = local_net = local_out = inflow_budget = evict_budget = None
+    exact: list[int] | None = None
+    if refine and shares:
+        space = int(k)
+        exact = backend.reduce_block_weights(labels, space).tolist()
+    else:
+        space = (
+            (max(label_list) + 1) if refine else backend.label_space(labels)
+        )
+        weight_list = [0] * space
+        for v in range(n_total):
+            weight_list[label_list[v]] += vwgt_list[v]
+
+    if ordering == "degree" and band is None:
+        degree_order = np.argsort(backend.degrees, kind="stable").tolist()
+    band_list = None if band is None else band.tolist()
+
+    for _phase in range(max(0, iterations)):
+        span_extra = {} if band_list is None else {"band_size": len(band_list)}
+        lp_span = TRACER.span(
+            "lp.iteration", **backend.span_kwargs(), engine=engine_name,
+            mode=mode_name, iteration=_phase,
+            constrained=constraint is not None, **span_extra,
+        )
+        lp_span.__enter__()
+        if band_list is not None:
+            order = [
+                band_list[i]
+                for i in backend.rng.permutation(len(band_list)).tolist()
+            ]
+        elif ordering == "degree":
+            order = degree_order
+        else:
+            order = backend.rng.permutation(n_local).tolist()
+        if shares:
+            inflow_budget = [max(0.0, (bound - exact[b]) / backend.size) for b in range(space)]
+            evict_budget = [max(0.0, (exact[b] - bound) / backend.size) for b in range(space)]
+            local_net = [0] * space  # this PE's net weight added per block
+            local_out = [0] * space  # weight evicted from overloaded blocks
+
+        changed: list[int] = []
+        arcs_scanned = 0
+        moved = 0
+        for v in order:
+            begin, end = xadj[v], xadj[v + 1]
+            own = label_list[v]
+            if begin == end:
+                # Isolated node: useless for the cut, but in refinement
+                # mode it can still repair balance by moving to the
+                # lightest eligible block when its own is overloaded
+                # (band mode skips it: it is never near a boundary).
+                if refine and band_list is None:
+                    c_v = vwgt_list[v]
+                    if shares:
+                        if exact[own] > bound and local_out[own] < evict_budget[own]:
+                            candidates = [
+                                b for b in range(space)
+                                if b != own and local_net[b] + c_v <= inflow_budget[b]
+                            ]
+                            if candidates:
+                                target = min(
+                                    candidates, key=lambda b: exact[b] + local_net[b]
+                                )
+                                local_net[own] -= c_v
+                                local_net[target] += c_v
+                                local_out[own] += c_v
+                                label_list[v] = target
+                                moved += 1
+                                if track_changed and interface[v]:
+                                    changed.append(v)
+                    elif weight_list[own] > bound:
+                        candidates = [
+                            b for b in range(space)
+                            if b != own and weight_list[b] + c_v <= bound
+                        ]
+                        if candidates:
+                            target = min(candidates, key=weight_list.__getitem__)
+                            weight_list[own] -= c_v
+                            weight_list[target] += c_v
+                            label_list[v] = target
+                            moved += 1
+                            if track_changed and interface[v]:
+                                changed.append(v)
+                continue
+            arcs_scanned += end - begin
+            my_constraint = constraint_list[v] if constraint_list is not None else None
+
+            # Aggregate connection strength per neighbouring label.
+            conn: dict[int, int] = {}
+            for idx in range(begin, end):
+                u = adjncy[idx]
+                if my_constraint is not None and constraint_list[u] != my_constraint:
+                    continue
+                lab = label_list[u]
+                conn[lab] = conn.get(lab, 0) + adjwgt[idx]
+
+            c_v = vwgt_list[v]
+            if not refine:
+                evicting = False
+            elif shares:
+                evicting = exact[own] > bound and local_out[own] < evict_budget[own]
+            else:
+                evicting = weight_list[own] > bound
+            if not evicting:
+                # Staying is always permitted; connection to own block may
+                # be zero if no neighbour shares it.
+                conn.setdefault(own, 0)
+
+            best_weight = -1
+            best_labels: list[int] = []
+            if shares:
+                for lab, strength in conn.items():
+                    if lab == own:
+                        if evicting:
+                            continue
+                    elif local_net[lab] + c_v > inflow_budget[lab]:
+                        continue  # this PE's share of block `lab` is used up
+                    if strength > best_weight:
+                        best_weight = strength
+                        best_labels = [lab]
+                    elif strength == best_weight:
+                        best_labels.append(lab)
+            else:
+                for lab, strength in conn.items():
+                    if lab == own:
+                        if evicting:
+                            continue
+                    elif weight_list[lab] + c_v > bound:
+                        continue  # ineligible: target would overload
+                    if strength > best_weight:
+                        best_weight = strength
+                        best_labels = [lab]
+                    elif strength == best_weight:
+                        best_labels.append(lab)
+
+            if not best_labels:
+                continue  # evicting but nowhere eligible to go
+            target = (
+                best_labels[0]
+                if len(best_labels) == 1
+                else best_labels[tie_rng.randrange(len(best_labels))]
+            )
+            if target != own:
+                if shares:
+                    local_net[own] -= c_v
+                    local_net[target] += c_v
+                    if evicting:
+                        local_out[own] += c_v
+                else:
+                    weight_list[own] -= c_v
+                    weight_list[target] += c_v
+                label_list[v] = target
+                moved += 1
+                if track_changed and interface[v]:
+                    changed.append(v)
+        backend.work(arcs_scanned)
+
+        ghost_idx, ghost_vals = backend.exchange_labels_list(label_list, changed, delta)
+        if refine:
+            for gi, new_lab in zip(ghost_idx, ghost_vals):
+                label_list[gi] = new_lab
+        else:
+            for gi, new_lab in zip(ghost_idx, ghost_vals):
+                old = label_list[gi]
+                if old == new_lab:
+                    continue
+                w = vwgt_list[gi]
+                weight_list[old] -= w
+                weight_list[new_lab] += w
+                label_list[gi] = new_lab
+
+        if shares:
+            # Restore exact weights with one reduction (Section IV-B).
+            exact = backend.reduce_block_weights(
+                np.asarray(label_list, dtype=np.int64), space
+            ).tolist()
+
+        global_changed = backend.global_changed(moved, len(changed))
+        lp_span.set(moved=moved, arcs=arcs_scanned, global_changed=global_changed)
+        if TRACER.enabled:
+            TRACER.metrics.counter("lp.iterations").inc()
+            TRACER.metrics.counter("lp.moved_nodes").inc(moved)
+        lp_span.__exit__(None, None, None)
+        if global_changed == 0:
+            break
+
+    return np.asarray(label_list, dtype=np.int64)

@@ -26,3 +26,25 @@ def accounted_scan(dgraph, comm, labels):
 def no_comm_no_advice(graph, xadj, adjncy):
     # Sequential code (no comm parameter) has no simulated clock to feed.
     return sum(adjncy[xadj[v]] for v in range(graph.n))
+
+
+def unaccounted_driver(backend, labels):
+    # An ExecutionBackend parameter is comm-like: `backend.work` is
+    # `comm.work` on the SPMD backend, so driver loops are held to the
+    # same contract.
+    total = 0
+    for v in range(backend.n_local):  # WORK-MISS: backend.work() never called
+        for idx in range(backend.xadj[v], backend.xadj[v + 1]):
+            total += labels[backend.adjncy[idx]]
+    return total
+
+
+def accounted_driver(backend, labels):
+    total = 0
+    arcs = 0
+    for v in range(backend.n_local):
+        for idx in range(backend.xadj[v], backend.xadj[v + 1]):
+            total += labels[backend.adjncy[idx]]
+            arcs += 1
+    backend.work(arcs)
+    return total

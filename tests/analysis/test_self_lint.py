@@ -2,7 +2,12 @@
 
 Runs the SPMD linter over ``src/`` and asserts zero non-advisory
 findings, so a divergent collective or a global-RNG call can never land
-unnoticed.  Advisory findings (WORK-MISS) are reported but tolerated.
+unnoticed.  Advisory findings (WORK-MISS) are reported but tolerated —
+except under ``src/repro/engine/``, which is held to zero findings of
+any severity: the shared drivers run on both substrates, so an engine
+edge loop that skips ``backend.work()`` silently corrupts every
+simulated-time number downstream (WORK-MISS treats a ``backend``
+parameter as comm-like precisely for this tree).
 """
 
 from __future__ import annotations
@@ -12,6 +17,7 @@ from pathlib import Path
 from repro.analysis import Severity, lint_paths
 
 SRC = Path(__file__).resolve().parents[2] / "src"
+ENGINE = SRC / "repro" / "engine"
 
 
 def test_source_tree_has_no_lint_errors():
@@ -19,3 +25,13 @@ def test_source_tree_has_no_lint_errors():
     errors = [f for f in lint_paths([SRC]) if f.severity is Severity.ERROR]
     detail = "\n".join(f.format() for f in errors)
     assert not errors, f"repro.analysis found lint errors in src/:\n{detail}"
+
+
+def test_engine_tree_is_clean_including_advisories():
+    assert ENGINE.is_dir(), f"engine package not found at {ENGINE}"
+    findings = lint_paths([ENGINE])
+    detail = "\n".join(f.format() for f in findings)
+    assert not findings, (
+        "repro.analysis found findings (advisories included) in the "
+        f"shared engine tree:\n{detail}"
+    )

@@ -1,0 +1,160 @@
+"""Golden equivalence gate for the backend-abstracted engine.
+
+``golden_partitions.json`` was frozen by running
+``tools/capture_golden_partitions.py`` on the pre-refactor tree (the
+last revision with separate sequential and distributed pipelines).
+These tests replay the same seeded grid through the unified engine and
+require byte-identical label arrays — the refactor's "thin wrappers,
+unchanged results" contract, end to end: LP clustering/refinement in
+every chunk/sweep mode, parallel LP on 1 and 4 PEs, the sequential
+multilevel cycle, and the full parallel partitioner (hashes *and* final
+cuts) for fast/eco runs on rmat/ba/rgg instances.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from functools import lru_cache
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import eco_config, fast_config, multilevel_partition
+from repro.core.label_propagation import (
+    label_propagation_clustering,
+    label_propagation_refinement,
+)
+from repro.dist.dgraph import DistGraph, balanced_vtxdist
+from repro.dist.dist_lp import parallel_label_propagation
+from repro.dist.dist_partitioner import parallel_partition
+from repro.dist.runtime import run_spmd
+from repro.generators import barabasi_albert, rgg, rmat
+from repro.graph.validation import max_block_weight_bound
+
+GOLDEN = json.loads(
+    (Path(__file__).parent / "golden_partitions.json").read_text()
+)
+
+GRAPH_NAMES = ("rmat10", "ba10", "rgg10")
+CONFIGS = {"fast": fast_config, "eco": eco_config}
+# (chunk_size, engine argument, golden key label).  The goldens were
+# captured with engine=None under the default environment, where
+# chunk_size=1 resolves to the full sweep (the bit-exact scan
+# contract); the replay pins engine="full" there so a forced
+# REPRO_LP_FRONTIER=1 (CI runs the suite in both modes) cannot flip the
+# resolution away from the captured configuration.  chunk_size=0 is
+# env-immune: the scan engine never consults REPRO_LP_FRONTIER.
+CHUNK_GRID = [
+    (0, None, "auto"),
+    (1, "full", "auto"),
+    (64, "full", "full"),
+    (64, "frontier", "frontier"),
+]
+
+
+@lru_cache(maxsize=None)
+def make_graph(name):
+    if name == "rmat10":
+        return rmat(10, seed=1)
+    if name == "ba10":
+        return barabasi_albert(1024, 4, seed=2)
+    return rgg(10, seed=3)
+
+
+def digest(arr: np.ndarray) -> str:
+    return hashlib.sha256(
+        np.ascontiguousarray(arr, dtype=np.int64).tobytes()
+    ).hexdigest()
+
+
+@pytest.mark.parametrize("chunk,engine,label", CHUNK_GRID)
+@pytest.mark.parametrize("gname", GRAPH_NAMES)
+class TestSequentialLP:
+    def test_cluster(self, gname, chunk, engine, label):
+        g = make_graph(gname)
+        lmax = max_block_weight_bound(g, 4, 0.03)
+        rng = np.random.default_rng(7)
+        labels = label_propagation_clustering(
+            g, max_cluster_weight=max(2, lmax // 10), iterations=3, rng=rng,
+            chunk_size=chunk, engine=engine,
+        )
+        key = f"lp_cluster/{gname}/chunk{chunk}/{label}"
+        assert digest(labels) == GOLDEN[key]
+
+    def test_refine(self, gname, chunk, engine, label):
+        g = make_graph(gname)
+        lmax = max_block_weight_bound(g, 4, 0.03)
+        part = np.random.default_rng(11).integers(0, 4, size=g.num_nodes)
+        refined = label_propagation_refinement(
+            g, part, lmax, iterations=4, rng=np.random.default_rng(13),
+            chunk_size=chunk, engine=engine,
+        )
+        key = f"lp_refine/{gname}/chunk{chunk}/{label}"
+        assert digest(refined) == GOLDEN[key]
+
+
+@pytest.mark.parametrize("gname", GRAPH_NAMES)
+def test_band_refinement(gname):
+    g = make_graph(gname)
+    lmax = max_block_weight_bound(g, 4, 0.03)
+    part = np.random.default_rng(17).integers(0, 4, size=g.num_nodes)
+    banded = label_propagation_refinement(
+        g, part, lmax, iterations=3, rng=np.random.default_rng(19),
+        band_distance=2,
+    )
+    assert digest(banded) == GOLDEN[f"lp_band/{gname}"]
+
+
+def _parallel_lp_program(comm, graph, mode, k, chunk, engine):
+    vtxdist = balanced_vtxdist(graph.num_nodes, comm.size)
+    dg = DistGraph.from_global(graph, vtxdist, comm.rank)
+    lmax = max_block_weight_bound(graph, 4, 0.03)
+    if mode == "cluster":
+        labels = dg.to_global(np.arange(dg.n_total, dtype=np.int64))
+        res = parallel_label_propagation(
+            dg, comm, labels, max(2, lmax // 10), 3,
+            mode="cluster", chunk_size=chunk, engine=engine,
+        )
+    else:
+        part_rng = np.random.default_rng(23)
+        full = part_rng.integers(0, k, size=graph.num_nodes).astype(np.int64)
+        labels = np.zeros(dg.n_total, dtype=np.int64)
+        labels[: dg.n_local] = full[dg.first : dg.first + dg.n_local]
+        dg.halo_exchange(comm, labels)
+        res = parallel_label_propagation(
+            dg, comm, labels, lmax, 4, mode="refine", k=k,
+            chunk_size=chunk, engine=engine,
+        )
+    return dg.gather_global(comm, res[: dg.n_local])
+
+
+@pytest.mark.parametrize("mode", ["cluster", "refine"])
+@pytest.mark.parametrize("chunk,engine,label", CHUNK_GRID)
+@pytest.mark.parametrize("p", [1, 4])
+@pytest.mark.parametrize("gname", GRAPH_NAMES)
+def test_parallel_lp(gname, p, chunk, engine, label, mode):
+    g = make_graph(gname)
+    res = run_spmd(p, _parallel_lp_program, g, mode, 4, chunk, engine, seed=5)
+    key = f"par_lp_{mode}/{gname}/p{p}/chunk{chunk}/{label}"
+    assert digest(res.value) == GOLDEN[key]
+
+
+@pytest.mark.parametrize("cname", list(CONFIGS))
+@pytest.mark.parametrize("gname", GRAPH_NAMES)
+def test_multilevel(gname, cname):
+    g = make_graph(gname)
+    config = CONFIGS[cname](k=4)
+    part = multilevel_partition(g, config, np.random.default_rng(29))
+    assert digest(part) == GOLDEN[f"multilevel/{gname}/{cname}"]
+
+
+@pytest.mark.parametrize("p", [1, 4])
+@pytest.mark.parametrize("cname", list(CONFIGS))
+@pytest.mark.parametrize("gname", GRAPH_NAMES)
+def test_parallel_partition(gname, cname, p):
+    g = make_graph(gname)
+    res = parallel_partition(g, CONFIGS[cname](k=4), num_pes=p, seed=31)
+    assert digest(res.partition) == GOLDEN[f"parallel/{gname}/{cname}/p{p}"]
+    assert int(res.cut) == GOLDEN[f"parallel_cut/{gname}/{cname}/p{p}"]

@@ -1,0 +1,147 @@
+"""Capture seeded golden outputs for the engine refactor equivalence gate.
+
+Runs every public entry point the backend-abstracted engine must keep
+byte-identical — LP clustering/refinement, parallel LP, the sequential
+multilevel cycle, and the full parallel partitioner — over a fixed grid
+of generator instances, presets, and PE counts, and writes SHA-256
+hashes of the resulting label arrays to
+``tests/engine/golden_partitions.json``.
+
+Run it from a tree whose behaviour is the reference (it was run once on
+the pre-refactor tree to freeze the baselines); the test suite then
+replays the grid and compares hashes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.core import eco_config, fast_config, multilevel_partition  # noqa: E402
+from repro.core.label_propagation import (  # noqa: E402
+    label_propagation_clustering,
+    label_propagation_refinement,
+)
+from repro.dist.dist_lp import parallel_label_propagation  # noqa: E402
+from repro.dist.dist_partitioner import parallel_partition  # noqa: E402
+from repro.dist.dgraph import DistGraph, balanced_vtxdist  # noqa: E402
+from repro.dist.runtime import run_spmd  # noqa: E402
+from repro.generators import barabasi_albert, rgg, rmat  # noqa: E402
+from repro.graph.validation import max_block_weight_bound  # noqa: E402
+
+
+def digest(arr: np.ndarray) -> str:
+    return hashlib.sha256(np.ascontiguousarray(arr, dtype=np.int64).tobytes()).hexdigest()
+
+
+GRAPHS = {
+    "rmat10": lambda: rmat(10, seed=1),
+    "ba10": lambda: barabasi_albert(1024, 4, seed=2),
+    "rgg10": lambda: rgg(10, seed=3),
+}
+
+CONFIGS = {"fast": fast_config, "eco": eco_config}
+
+
+def lp_goldens(out: dict) -> None:
+    for gname, make in GRAPHS.items():
+        g = make()
+        lmax = max_block_weight_bound(g, 4, 0.03)
+        for chunk, engine in [(0, None), (1, None), (64, "full"), (64, "frontier")]:
+            rng = np.random.default_rng(7)
+            labels = label_propagation_clustering(
+                g, max_cluster_weight=max(2, lmax // 10), iterations=3, rng=rng,
+                chunk_size=chunk, engine=engine,
+            )
+            out[f"lp_cluster/{gname}/chunk{chunk}/{engine or 'auto'}"] = digest(labels)
+            rng = np.random.default_rng(11)
+            part = rng.integers(0, 4, size=g.num_nodes)
+            rng2 = np.random.default_rng(13)
+            refined = label_propagation_refinement(
+                g, part, lmax, iterations=4, rng=rng2,
+                chunk_size=chunk, engine=engine,
+            )
+            out[f"lp_refine/{gname}/chunk{chunk}/{engine or 'auto'}"] = digest(refined)
+        # band refinement (scan-only variant)
+        rng = np.random.default_rng(17)
+        part = rng.integers(0, 4, size=g.num_nodes)
+        rng2 = np.random.default_rng(19)
+        banded = label_propagation_refinement(
+            g, part, lmax, iterations=3, rng=rng2, band_distance=2
+        )
+        out[f"lp_band/{gname}"] = digest(banded)
+
+
+def parallel_lp_goldens(out: dict) -> None:
+    def program(comm, graph, mode, k, chunk, engine):
+        vtxdist = balanced_vtxdist(graph.num_nodes, comm.size)
+        dg = DistGraph.from_global(graph, vtxdist, comm.rank)
+        lmax = max_block_weight_bound(graph, 4, 0.03)
+        if mode == "cluster":
+            labels = dg.to_global(np.arange(dg.n_total, dtype=np.int64))
+            res = parallel_label_propagation(
+                dg, comm, labels, max(2, lmax // 10), 3,
+                mode="cluster", chunk_size=chunk, engine=engine,
+            )
+        else:
+            part_rng = np.random.default_rng(23)
+            full = part_rng.integers(0, k, size=graph.num_nodes).astype(np.int64)
+            labels = np.zeros(dg.n_total, dtype=np.int64)
+            labels[: dg.n_local] = full[dg.first : dg.first + dg.n_local]
+            dg.halo_exchange(comm, labels)
+            res = parallel_label_propagation(
+                dg, comm, labels, lmax, 4, mode="refine", k=k,
+                chunk_size=chunk, engine=engine,
+            )
+        return dg.gather_global(comm, res[: dg.n_local])
+
+    for gname, make in GRAPHS.items():
+        g = make()
+        for p in (1, 4):
+            for chunk, engine in [(0, None), (1, None), (64, "full"), (64, "frontier")]:
+                for mode in ("cluster", "refine"):
+                    res = run_spmd(p, program, g, mode, 4, chunk, engine, seed=5)
+                    out[f"par_lp_{mode}/{gname}/p{p}/chunk{chunk}/{engine or 'auto'}"] = (
+                        digest(res.value)
+                    )
+
+
+def multilevel_goldens(out: dict) -> None:
+    for gname, make in GRAPHS.items():
+        g = make()
+        for cname, cfg in CONFIGS.items():
+            config = cfg(k=4)
+            rng = np.random.default_rng(29)
+            part = multilevel_partition(g, config, rng)
+            out[f"multilevel/{gname}/{cname}"] = digest(part)
+
+
+def parallel_partition_goldens(out: dict) -> None:
+    for gname, make in GRAPHS.items():
+        g = make()
+        for cname, cfg in CONFIGS.items():
+            for p in (1, 4):
+                res = parallel_partition(g, cfg(k=4), num_pes=p, seed=31)
+                out[f"parallel/{gname}/{cname}/p{p}"] = digest(res.partition)
+                out[f"parallel_cut/{gname}/{cname}/p{p}"] = int(res.cut)
+
+
+def main() -> None:
+    out: dict = {}
+    lp_goldens(out)
+    parallel_lp_goldens(out)
+    multilevel_goldens(out)
+    parallel_partition_goldens(out)
+    dest = Path(__file__).resolve().parents[1] / "tests" / "engine" / "golden_partitions.json"
+    dest.write_text(json.dumps(out, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {len(out)} goldens to {dest}")
+
+
+if __name__ == "__main__":
+    main()
