@@ -34,6 +34,17 @@ def build_parser() -> argparse.ArgumentParser:
                       help="comma-separated rule codes to report (default: all)")
     lint.add_argument("--fixit", action="store_true",
                       help="print the fix-it hint under each finding")
+    lint.add_argument("--format", default="text",
+                      choices=["text", "json", "sarif"], dest="output_format",
+                      help="report format (json/sarif for CI consumption)")
+    lint.add_argument("--output", default=None,
+                      help="write the json/sarif document to this file "
+                           "(text report still goes to stdout)")
+    lint.add_argument("--strict-noqa", action="store_true",
+                      help="advisory finding for every unused suppression")
+    lint.add_argument("--verify-trace", default=None, metavar="TRACE",
+                      help="cross-check a repro.obsv JSONL event stream "
+                           "against the static collective footprints")
 
     sub.add_parser("rules", help="list every rule with severity and summary")
     return parser
@@ -43,8 +54,8 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "rules":
         for rule in RULES.values():
-            print(f"{rule.code:11s} [{rule.severity.value}] {rule.summary}")
-            print(f"{'':11s} fix: {rule.fixit}")
+            print(f"{rule.code:13s} [{rule.severity.value}] {rule.summary}")
+            print(f"{'':13s} fix: {rule.fixit}")
         return 0
     select = None
     if args.select:
@@ -54,6 +65,10 @@ def main(argv: list[str] | None = None) -> int:
         include_advice=not args.no_advice,
         select=select,
         show_fixit=args.fixit,
+        output_format=args.output_format,
+        output_path=args.output,
+        strict_noqa=args.strict_noqa,
+        verify_trace=args.verify_trace,
     )
 
 

@@ -1,0 +1,129 @@
+"""Call graph over a :class:`~repro.analysis.project.Project`.
+
+One node per project function (qualname), one edge per call expression
+that :meth:`Project.resolve_call` can reach.  The graph is the skeleton
+the footprint pass walks bottom-up: Tarjan's algorithm condenses it into
+strongly connected components in reverse-topological order, so summaries
+of callees are always available before callers (recursive cliques are
+iterated to a fixpoint by the consumer).
+
+Call sites inside a function are collected *shallowly* — a nested
+``def`` is its own node — but lambdas and comprehensions belong to the
+enclosing function.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from .project import FunctionInfo, Project
+
+__all__ = ["CallGraph", "CallSite", "build_call_graph"]
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a function, with its resolutions."""
+
+    call: ast.Call = field(repr=False)
+    callees: tuple[str, ...]  # qualnames of resolvable targets
+
+
+@dataclass
+class CallGraph:
+    project: Project
+    #: qualname -> outgoing edges (resolved callee qualnames)
+    edges: dict[str, set[str]]
+    #: qualname -> every call site in that function body
+    sites: dict[str, list[CallSite]]
+    #: SCCs in reverse topological order (callees before callers)
+    sccs: list[list[str]]
+
+
+def _iter_own_calls(func: ast.AST):
+    """Call expressions belonging to this function (not nested defs)."""
+    stack = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            continue
+        if isinstance(node, ast.Call):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def build_call_graph(project: Project) -> CallGraph:
+    edges: dict[str, set[str]] = {}
+    sites: dict[str, list[CallSite]] = {}
+    for qualname, func in project.functions.items():
+        module = project.modules_by_path[func.path]
+        out: set[str] = set()
+        own_sites: list[CallSite] = []
+        for call in _iter_own_calls(func.node):
+            callees = tuple(
+                target.qualname
+                for target in project.resolve_call(
+                    module, call, class_name=func.class_name
+                )
+            )
+            own_sites.append(CallSite(call=call, callees=callees))
+            out.update(callees)
+        edges[qualname] = out
+        sites[qualname] = own_sites
+    return CallGraph(
+        project=project, edges=edges, sites=sites, sccs=_tarjan_sccs(edges)
+    )
+
+
+def _tarjan_sccs(edges: dict[str, set[str]]) -> list[list[str]]:
+    """Tarjan SCCs, iterative; emitted in reverse topological order."""
+    index: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    sccs: list[list[str]] = []
+    counter = 0
+
+    for root in edges:
+        if root in index:
+            continue
+        work: list[tuple[str, list[str], int]] = [
+            (root, sorted(edges.get(root, ())), 0)
+        ]
+        while work:
+            node, succs, i = work.pop()
+            if i == 0:
+                index[node] = lowlink[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            while i < len(succs):
+                succ = succs[i]
+                i += 1
+                if succ not in edges:
+                    continue  # resolved into a module we did not load
+                if succ not in index:
+                    work.append((node, succs, i))
+                    work.append((succ, sorted(edges.get(succ, ())), 0))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            if lowlink[node] == index[node]:
+                scc: list[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    scc.append(member)
+                    if member == node:
+                        break
+                sccs.append(scc)
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return sccs

@@ -85,6 +85,75 @@ RULES: dict[str, Rule] = {
             ),
         ),
         Rule(
+            code="COLL-ORDER",
+            severity=Severity.ERROR,
+            summary=(
+                "branch arms execute different guaranteed collective "
+                "sequences (must-footprints differ); a cross-rank "
+                "divergence of the condition misaligns the lock-step "
+                "protocol instead of deadlocking it"
+            ),
+            fixit=(
+                "make both arms execute the same collective sequence, or "
+                "hoist the collectives out of the branch and vary only the "
+                "payload"
+            ),
+        ),
+        Rule(
+            code="MUT-BUF",
+            severity=Severity.ERROR,
+            summary=(
+                "in-place mutation of a CSR buffer (xadj/adjncy/adjwgt/"
+                "vwgt/degrees) received through a Graph/DistGraph/backend "
+                "parameter; shared buffers must stay read-only"
+            ),
+            fixit=(
+                "copy before writing (`arr = graph.adjwgt.copy()`); the "
+                "buffers are shared across ranks and will live in "
+                "multiprocessing.shared_memory under the ProcessBackend"
+            ),
+        ),
+        Rule(
+            code="DTYPE-NARROW",
+            severity=Severity.ERROR,
+            summary=(
+                "label/global-id array cast to a 32-bit integer dtype; "
+                "graphs at the paper's target scale (>= 2^31 nodes) "
+                "overflow int32 ids"
+            ),
+            fixit=(
+                "keep cluster labels and global node ids int64; narrow "
+                "only provably bounded quantities (e.g. interface "
+                "positions), with a noqa stating the bound"
+            ),
+        ),
+        Rule(
+            code="NOQA-UNUSED",
+            severity=Severity.ADVICE,
+            summary=(
+                "a `# repro: noqa` suppression matches no finding "
+                "(reported under --strict-noqa)"
+            ),
+            fixit=(
+                "delete the stale suppression so the noqa inventory "
+                "reflects real, justified exceptions"
+            ),
+        ),
+        Rule(
+            code="TRACE-MISMATCH",
+            severity=Severity.ERROR,
+            summary=(
+                "a collective observed in a runtime trace is missing from "
+                "the static collective footprint of the enclosing span's "
+                "function (or is not a known collective at all)"
+            ),
+            fixit=(
+                "the static model is wrong: add the op to "
+                "repro.analysis.rules.COLLECTIVES, or fix the call-graph/"
+                "footprint gap that hides the call chain"
+            ),
+        ),
+        Rule(
             code="PARSE",
             severity=Severity.ERROR,
             summary="file could not be parsed",

@@ -6,8 +6,14 @@ same order, per-rank randomness comes only from ``comm.rng`` (or another
 explicitly seeded generator), and shared :class:`~repro.dist.comm.World`
 state is mutated only by :class:`~repro.dist.comm.SimComm` itself.
 
-All checks are heuristic — they see one file at a time and no types — so
-they are tuned to be precise on this codebase's idioms:
+The checks are heuristic — they see no types — but no longer purely
+local: when :func:`check_module` receives a *module context* (built by
+:class:`repro.analysis.footprints.FootprintAnalysis` over the whole
+analysed tree), SPMD-DIV and COLL-ORDER reason over transitive
+*collective footprints*, so a rank-dependent branch that calls a helper
+which internally does a ``halo_exchange`` two files away is flagged at
+the call site.  The heuristics are tuned to be precise on this
+codebase's idioms:
 
 * an expression is *rank-dependent* when it mentions an attribute named
   ``rank``, a bare name ``rank``, a local variable assigned from such an
@@ -27,11 +33,14 @@ they are tuned to be precise on this codebase's idioms:
 from __future__ import annotations
 
 import ast
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from .findings import Finding
 
-__all__ = ["check_module", "COLLECTIVES", "SHARED_ATTRS"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from .footprints import ModuleContext
+
+__all__ = ["check_module", "COLLECTIVES", "SHARED_ATTRS", "BUFFER_ATTRS"]
 
 #: method names treated as collectives (SimComm plus the DistGraph
 #: wrappers that are collective over their comm argument)
@@ -82,6 +91,63 @@ _NP_STATEFUL = frozenset({
 
 #: names whose presence in a loop marks it as an edge-traversal loop
 _EDGE_NAMES = frozenset({"xadj", "adjncy", "adjwgt"})
+
+#: CSR/topology arrays of Graph / DistGraph / ExecutionBackend objects.
+#: Under the upcoming shared-memory ProcessBackend these live in
+#: ``multiprocessing.shared_memory`` and must stay read-only in every
+#: consumer; today an in-place write already aliases across the
+#: LocalBackend's Graph and the engine's views of it.
+BUFFER_ATTRS = frozenset({"xadj", "adjncy", "adjwgt", "vwgt", "degrees"})
+
+#: parameter annotations that mark a shared-buffer carrier
+_BUFFER_ANNOTATIONS = frozenset({
+    "Graph", "DistGraph", "ExecutionBackend", "LocalBackend", "SpmdBackend",
+    "VcycleBackend",
+})
+
+#: in-place mutator methods on ndarrays (MUT-BUF flavour of _MUTATORS)
+_ARRAY_MUTATORS = frozenset({
+    "sort", "fill", "setflags", "resize", "partition", "put", "itemset",
+})
+
+#: spellings of a 32-bit int dtype (DTYPE-NARROW)
+_INT32_NAMES = frozenset({"int32", "intc", "uint32"})
+
+#: identifier fragments that mark an array as holding cluster labels or
+#: global node ids — the quantities that index the 2^31+-node graphs the
+#: paper targets
+_LABELISH_FRAGMENTS = ("label", "cluster", "gid")
+_LABELISH_NAMES = frozenset({
+    "partition", "parts", "ids", "node_ids", "global_ids", "blocks",
+})
+
+
+def _is_labelish(name: str) -> bool:
+    lowered = name.lower()
+    return (
+        any(fragment in lowered for fragment in _LABELISH_FRAGMENTS)
+        or lowered in _LABELISH_NAMES
+    )
+
+
+def _mentions_labelish(node: ast.expr) -> str | None:
+    """The first label/global-id-ish identifier in the expression."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and _is_labelish(sub.id):
+            return sub.id
+        if isinstance(sub, ast.Attribute) and _is_labelish(sub.attr):
+            return sub.attr
+    return None
+
+
+def _is_int32(node: ast.expr) -> bool:
+    if isinstance(node, ast.Attribute):
+        return node.attr in _INT32_NAMES
+    if isinstance(node, ast.Name):
+        return node.id in _INT32_NAMES
+    if isinstance(node, ast.Constant):
+        return node.value in ("int32", "uint32", "i4", "u4", "<i4", "<u4")
+    return False
 
 
 # ----------------------------------------------------------------------
@@ -283,18 +349,47 @@ class _RngImports:
 # Per-function context
 # ----------------------------------------------------------------------
 
+def _annotation_name(annotation: ast.expr | None) -> str | None:
+    if isinstance(annotation, ast.Name):
+        return annotation.id
+    if isinstance(annotation, ast.Attribute):
+        return annotation.attr
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        return annotation.value.split(".")[-1].strip()
+    if isinstance(annotation, ast.BinOp):  # ``Graph | None``
+        return _annotation_name(annotation.left) or _annotation_name(annotation.right)
+    return None
+
+
+def _is_buffer_param(name: str, annotation: ast.expr | None) -> bool:
+    """Does this parameter carry shared CSR buffers (MUT-BUF)?"""
+    if name in ("self", "cls"):
+        return False
+    ann = _annotation_name(annotation)
+    if ann is not None and ann in _BUFFER_ANNOTATIONS:
+        return True
+    lowered = name.lower()
+    return lowered.endswith(("graph", "backend")) or lowered == "dgraph"
+
+
 class _FuncState:
     """Pre-scanned facts about one function body."""
 
-    def __init__(self, node: ast.AST, is_module: bool = False) -> None:
+    def __init__(self, node: ast.AST, is_module: bool = False,
+                 context: "ModuleContext | None" = None,
+                 class_name: str | None = None) -> None:
         self.tainted = _collect_taint(node)
         self.collective_lines: list[int] = []
         self.has_work = False
         self.work_miss_reported = False
         self.comm_param = False
+        self.buffer_params: frozenset[str] = frozenset()
+        #: local alias -> (param, attr) for ``xadj = graph.xadj``
+        self.buffer_aliases: dict[str, tuple[str, str]] = {}
         if not is_module:
             args = node.args
-            names = [a.arg for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)]
+            params = [*args.posonlyargs, *args.args, *args.kwonlyargs]
+            names = [a.arg for a in params]
             # An ExecutionBackend parameter is comm-like: the shared engine
             # drivers (repro.engine) charge traversal work through
             # `backend.work(...)`, which is `comm.work` on the SPMD backend,
@@ -303,20 +398,60 @@ class _FuncState:
                 "comm" in name.lower() or "backend" in name.lower()
                 for name in names
             )
+            self.buffer_params = frozenset(
+                a.arg for a in params if _is_buffer_param(a.arg, a.annotation)
+            )
+            if self.buffer_params:
+                self._collect_buffer_aliases(node)
         for sub in _walk_shallow(node):
             if isinstance(sub, ast.Call):
                 if _collective_name(sub) is not None:
                     self.collective_lines.append(sub.lineno)
                 elif isinstance(sub.func, ast.Attribute) and sub.func.attr == "work":
                     self.has_work = True
+                elif context is not None and context.call_may(sub, class_name):
+                    # Interprocedural: a call that transitively reaches a
+                    # collective counts for the early-return rule too.
+                    self.collective_lines.append(sub.lineno)
+
+    def _collect_buffer_aliases(self, node: ast.AST) -> None:
+        for sub in _walk_shallow(node):
+            if (
+                isinstance(sub, ast.Assign)
+                and len(sub.targets) == 1
+                and isinstance(sub.targets[0], ast.Name)
+            ):
+                source = self.buffer_source(sub.value)
+                if source is not None:
+                    self.buffer_aliases[sub.targets[0].id] = source
+
+    def buffer_source(self, node: ast.expr) -> tuple[str, str] | None:
+        """The ``(param, buffer attr)`` a bare expression aliases, if any.
+
+        Follows attribute chains (``backend.dgraph.vwgt``) down to a
+        parameter name, and one level of local aliasing
+        (``xadj = graph.xadj``).  Slices/copies (any call) break the
+        alias on purpose: ``graph.xadj.copy()`` is private data.
+        """
+        if isinstance(node, ast.Name):
+            return self.buffer_aliases.get(node.id)
+        if isinstance(node, ast.Attribute) and node.attr in BUFFER_ATTRS:
+            base = node.value
+            while isinstance(base, ast.Attribute):
+                base = base.value
+            if isinstance(base, ast.Name) and base.id in self.buffer_params:
+                return base.id, node.attr
+        return None
 
     def collectives_after(self, lineno: int) -> bool:
         return any(line > lineno for line in self.collective_lines)
 
 
 class _Checker(ast.NodeVisitor):
-    def __init__(self, tree: ast.Module, path: str) -> None:
+    def __init__(self, tree: ast.Module, path: str,
+                 context: "ModuleContext | None" = None) -> None:
         self.path = path
+        self.context = context
         self.findings: list[Finding] = []
         self.rng = _RngImports(tree)
         self.class_stack: list[str] = []
@@ -374,8 +509,14 @@ class _Checker(ast.NodeVisitor):
         self.generic_visit(node)
         self.class_stack.pop()
 
+    @property
+    def current_class(self) -> str | None:
+        return self.class_stack[-1] if self.class_stack else None
+
     def _visit_function(self, node) -> None:
-        self.func_stack.append(_FuncState(node))
+        self.func_stack.append(
+            _FuncState(node, context=self.context, class_name=self.current_class)
+        )
         saved_depth, self.div_depth = self.div_depth, 0
         self.generic_visit(node)
         self.div_depth = saved_depth
@@ -386,7 +527,39 @@ class _Checker(ast.NodeVisitor):
 
     # -- divergent control flow ----------------------------------------
 
+    def _check_coll_order(self, node: ast.If | ast.IfExp) -> None:
+        """COLL-ORDER: branch arms with unequal must-footprints.
+
+        Both arms executing collectives — but not the *same* guaranteed
+        sequence — is the shape the runtime sanitizer exists for: when
+        the condition ever diverges across ranks, each rank still
+        executes *a* collective, so the lock-step slot protocol does not
+        deadlock, it silently misaligns payloads (or trips the sanitizer
+        in the lucky runs that have it on).  One empty arm under a
+        rank-dependent condition is SPMD-DIV's business instead.
+        """
+        if self.context is None:
+            return
+        body = node.body if isinstance(node.body, list) else [ast.Expr(node.body)]
+        orelse = (
+            node.orelse if isinstance(node.orelse, list)
+            else [ast.Expr(node.orelse)]
+        )
+        must_body = self.context.stmts_must(body, self.current_class)
+        must_else = self.context.stmts_must(orelse, self.current_class)
+        if must_body and must_else and must_body != must_else:
+            self.report(
+                node,
+                "COLL-ORDER",
+                "branch arms execute different guaranteed collective "
+                f"sequences ({'+'.join(sorted(must_body))} vs "
+                f"{'+'.join(sorted(must_else))}); if the condition ever "
+                "differs across ranks the lock-step protocol misaligns "
+                "payloads instead of deadlocking",
+            )
+
     def visit_If(self, node: ast.If) -> None:
+        self._check_coll_order(node)
         if self._rank_dep(node.test):
             self.visit(node.test)
             self._check_early_exit(node.body)
@@ -414,6 +587,7 @@ class _Checker(ast.NodeVisitor):
             self.generic_visit(node)
 
     def visit_IfExp(self, node: ast.IfExp) -> None:
+        self._check_coll_order(node)
         if self._rank_dep(node.test):
             self.visit(node.test)
             self._visit_divergent(node.body, node.orelse)
@@ -432,6 +606,19 @@ class _Checker(ast.NodeVisitor):
                 "flow; ranks taking the other path skip it and the lock-step "
                 "slot protocol deadlocks",
             )
+        elif name is None and self.div_depth > 0 and self.context is not None:
+            reached = self.context.call_may(node, self.current_class)
+            if reached:
+                callee = ast.unparse(node.func)
+                self.report(
+                    node,
+                    "SPMD-DIV",
+                    f"`{callee}()` transitively executes collective(s) "
+                    f"{'+'.join(sorted(reached))} but is called under "
+                    "rank-dependent control flow; ranks taking the other "
+                    "path skip them and the lock-step slot protocol "
+                    "deadlocks",
+                )
         rng_message = self.rng.violation(node)
         if rng_message is not None:
             self.report(node, "RNG-GLOBAL", rng_message)
@@ -448,9 +635,99 @@ class _Checker(ast.NodeVisitor):
                     f"`{node.func.attr}()` mutates shared `World.{attr}` "
                     "outside SimComm; the lock-step protocol owns that state",
                 )
+        self._check_mut_buf_call(node)
+        self._check_dtype_narrow_call(node)
         self.generic_visit(node)
 
-    def _check_write_targets(self, node: ast.AST, targets: list[ast.expr]) -> None:
+    # -- ProcessBackend-prep buffer safety ------------------------------
+
+    def _report_mut_buf(self, node: ast.AST, param: str, attr: str,
+                        how: str) -> None:
+        self.report(
+            node,
+            "MUT-BUF",
+            f"{how} mutates `{param}.{attr}` in place, but CSR buffers "
+            "received through Graph/DistGraph/backend parameters must stay "
+            "read-only (they are shared across ranks and will live in "
+            "multiprocessing.shared_memory under the ProcessBackend); "
+            "work on a copy instead",
+        )
+
+    def _check_mut_buf_call(self, node: ast.Call) -> None:
+        func = self.func
+        if not func.buffer_params or not isinstance(node.func, ast.Attribute):
+            return
+        # ndarray mutator methods: graph.adjncy.sort(), xadj.fill(0), ...
+        if node.func.attr in _ARRAY_MUTATORS:
+            source = func.buffer_source(node.func.value)
+            if source is not None:
+                self._report_mut_buf(
+                    node, *source, how=f"`.{node.func.attr}()`"
+                )
+                return
+        # ufunc.at: np.add.at(graph.vwgt, idx, 1) mutates arg 0 in place
+        if node.func.attr == "at" and node.args:
+            source = func.buffer_source(node.args[0])
+            if source is not None:
+                self._report_mut_buf(
+                    node, *source, how=f"`{ast.unparse(node.func)}`"
+                )
+
+    def _check_mut_buf_target(self, node: ast.AST, target: ast.expr,
+                              augmented: bool = False) -> None:
+        func = self.func
+        if not func.buffer_params:
+            return
+        if isinstance(target, ast.Subscript):
+            source = func.buffer_source(target.value)
+            if source is not None:
+                self._report_mut_buf(node, *source, how="subscript assignment")
+            return
+        source = func.buffer_source(target)
+        if source is None:
+            return
+        if augmented:
+            # ndarray += writes through the existing buffer in place.
+            self._report_mut_buf(node, *source, how="augmented assignment")
+        elif isinstance(target, ast.Attribute):
+            # Rebinding the attribute swaps the shared object's buffer
+            # out from under every other view of it.
+            self._report_mut_buf(node, *source, how="attribute rebinding")
+
+    def _check_dtype_narrow_call(self, node: ast.Call,
+                                 target_hint: str | None = None) -> None:
+        func_expr = node.func
+        labelish: str | None = target_hint
+        narrow = False
+        if (
+            isinstance(func_expr, ast.Attribute)
+            and func_expr.attr == "astype"
+            and node.args
+            and _is_int32(node.args[0])
+        ):
+            narrow = True
+            labelish = labelish or _mentions_labelish(func_expr.value)
+        else:
+            for keyword in node.keywords:
+                if keyword.arg == "dtype" and _is_int32(keyword.value):
+                    narrow = True
+                    if labelish is None:
+                        for arg in node.args:
+                            labelish = _mentions_labelish(arg)
+                            if labelish is not None:
+                                break
+        if narrow and labelish is not None:
+            self.report(
+                node,
+                "DTYPE-NARROW",
+                f"label/global-id array `{labelish}` is narrowed to a 32-bit "
+                "integer dtype; at the paper's target scale (>= 2^31 nodes) "
+                "global node ids and cluster labels overflow int32 — keep "
+                "them int64",
+            )
+
+    def _check_write_targets(self, node: ast.AST, targets: list[ast.expr],
+                             augmented: bool = False) -> None:
         if self.in_runtime_class:
             return
         stack = list(targets)
@@ -468,13 +745,24 @@ class _Checker(ast.NodeVisitor):
                     "cross-rank data must flow through collectives "
                     "(clock updates through comm.work())",
                 )
+            self._check_mut_buf_target(node, target, augmented=augmented)
 
     def visit_Assign(self, node: ast.Assign) -> None:
         self._check_write_targets(node, node.targets)
+        if isinstance(node.value, ast.Call):
+            hint = None
+            if len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name) and _is_labelish(target.id):
+                    hint = target.id
+                elif isinstance(target, ast.Attribute) and _is_labelish(target.attr):
+                    hint = target.attr
+            if hint is not None:
+                self._check_dtype_narrow_call(node.value, target_hint=hint)
         self.generic_visit(node)
 
     def visit_AugAssign(self, node: ast.AugAssign) -> None:
-        self._check_write_targets(node, [node.target])
+        self._check_write_targets(node, [node.target], augmented=True)
         self.generic_visit(node)
 
     def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
@@ -508,9 +796,15 @@ class _Checker(ast.NodeVisitor):
                 return
 
 
-def check_module(tree: ast.Module, path: str) -> list[Finding]:
-    """Run every rule over one parsed module."""
-    checker = _Checker(tree, path)
+def check_module(tree: ast.Module, path: str,
+                 context: "ModuleContext | None" = None) -> list[Finding]:
+    """Run every rule over one parsed module.
+
+    ``context`` (a :class:`repro.analysis.footprints.ModuleContext`)
+    enables the interprocedural rules; without it only the single-file
+    heuristics run.
+    """
+    checker = _Checker(tree, path, context=context)
     checker.visit(tree)
     # An early-return can be seen from several enclosing rank-guarded
     # branches; report each location once.

@@ -1,0 +1,156 @@
+"""Static ↔ runtime cross-checking of collective footprints.
+
+``repro lint --verify-trace out.events.jsonl src/repro`` replays an
+:mod:`repro.obsv` JSONL event stream against the interprocedural
+collective footprints and reports every collective that *ran* but that
+the static model says could not: a direct false-negative detector for
+the whole-program analysis, and a tripwire for stale
+:data:`repro.analysis.rules.COLLECTIVES` entries.
+
+The bridge between the two worlds is the span stack: the comm layer
+records every collective as a ``comm.<op>`` span whose ``parent`` is the
+innermost application span on that rank's stack (``lp.iteration``,
+``coarsen.level``, ...).  Application spans are opened with literal
+names (``TRACER.span("lp.iteration", ...)``), so static analysis can map
+each span name to the function(s) that open it.  For every runtime
+``comm.<op>`` record the checker then demands:
+
+1. the base op (tags stripped: ``alltoall[halo]`` → ``alltoall``) is a
+   known collective name, and
+2. the op is in the transitive *may*-footprint of at least one function
+   that opens the parent span (records with no parent, or a parent the
+   static pass cannot attribute, fall back to the whole-program
+   footprint).
+
+Every violation is a ``TRACE-MISMATCH`` error finding located at the
+offending line of the trace file.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from pathlib import Path
+from typing import Any, Iterator, Sequence
+
+from . import rules
+from .callgraph import CallGraph
+from .findings import Finding
+from .footprints import FootprintAnalysis
+from .project import Project
+
+__all__ = ["collect_span_owners", "verify_trace_file", "verify_trace_records"]
+
+
+def collect_span_owners(graph: CallGraph) -> dict[str, list[str]]:
+    """Map each literal span name to the function(s) opening it.
+
+    Only ``.span(...)`` calls count: they are the ones pushed on the
+    per-rank stack and hence the only possible ``parent`` of a comm
+    span.  Dynamically-named spans (f-strings) cannot be attributed and
+    simply stay absent, which downgrades their children to the
+    whole-program check.
+    """
+    owners: dict[str, list[str]] = {}
+    for qualname, sites in graph.sites.items():
+        for site in sites:
+            call = site.call
+            if not (
+                isinstance(call.func, ast.Attribute)
+                and call.func.attr == "span"
+                and call.args
+                and isinstance(call.args[0], ast.Constant)
+                and isinstance(call.args[0].value, str)
+            ):
+                continue
+            owners.setdefault(call.args[0].value, []).append(qualname)
+    return owners
+
+
+def _iter_trace_records(path: str | Path) -> Iterator[tuple[int, dict[str, Any]]]:
+    """(1-based line, record) for every JSON line of the event stream."""
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict):
+                yield lineno, record
+
+
+def base_op(span_name: str) -> str:
+    """``comm.alltoall[lp.labels]`` → ``alltoall``."""
+    op = span_name[len("comm."):]
+    return op.split("[", 1)[0]
+
+
+def verify_trace_records(
+    records: Sequence[tuple[int, dict[str, Any]]],
+    analysis: FootprintAnalysis,
+    trace_path: str = "<trace>",
+) -> list[Finding]:
+    """Cross-check pre-loaded ``(line, record)`` pairs (see module doc)."""
+    owners = collect_span_owners(analysis.graph)
+    program_may = frozenset().union(
+        *(fp.may for fp in analysis.table.values())
+    ) if analysis.table else frozenset()
+    findings: list[Finding] = []
+    for lineno, record in records:
+        if record.get("type") != "span":
+            continue
+        name = record.get("name")
+        if not isinstance(name, str) or not name.startswith("comm."):
+            continue
+        op = base_op(name)
+        if op not in rules.COLLECTIVES:
+            findings.append(Finding(
+                trace_path, lineno, 1, "TRACE-MISMATCH",
+                f"runtime collective `{name}` (base op `{op}`) is not a "
+                "known collective; repro.analysis.rules.COLLECTIVES is "
+                "stale, so every static rule is blind to this op",
+            ))
+            continue
+        parent = record.get("parent")
+        parent_owners = owners.get(parent) if isinstance(parent, str) else None
+        if parent_owners:
+            may = frozenset().union(
+                *(analysis.footprint(q).may for q in parent_owners)
+            )
+            if op not in may:
+                where = ", ".join(sorted(parent_owners))
+                findings.append(Finding(
+                    trace_path, lineno, 1, "TRACE-MISMATCH",
+                    f"collective `{op}` observed at runtime inside span "
+                    f"`{parent}` (opened by {where}), but the static "
+                    "footprint of those function(s) does not contain it; "
+                    "the call graph or footprint pass has a false negative",
+                ))
+        elif op not in program_may:
+            findings.append(Finding(
+                trace_path, lineno, 1, "TRACE-MISMATCH",
+                f"collective `{op}` observed at runtime but absent from "
+                "every static footprint in the analysed tree; the static "
+                "model cannot see this call chain at all",
+            ))
+    return findings
+
+
+def verify_trace_file(
+    trace_path: str | Path,
+    paths: Sequence[str | Path],
+) -> list[Finding]:
+    """Verify one JSONL event stream against the static footprints of
+    the Python tree(s) under ``paths``."""
+    from .linter import iter_python_files
+
+    trace_path = Path(trace_path)
+    if not trace_path.exists():
+        raise FileNotFoundError(f"no such trace file: {trace_path}")
+    project = Project.from_paths(iter_python_files(paths))
+    analysis = FootprintAnalysis(project)
+    records = list(_iter_trace_records(trace_path))
+    return verify_trace_records(records, analysis, trace_path=str(trace_path))

@@ -171,6 +171,10 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         include_advice=not args.no_advice,
         select=select,
         show_fixit=args.fixit,
+        output_format=args.output_format,
+        output_path=args.output,
+        strict_noqa=args.strict_noqa,
+        verify_trace=args.verify_trace,
     )
 
 
@@ -287,6 +291,18 @@ def build_parser() -> argparse.ArgumentParser:
                       help="comma-separated rule codes to report (default: all)")
     lint.add_argument("--fixit", action="store_true",
                       help="print the fix-it hint under each finding")
+    lint.add_argument("--format", default="text",
+                      choices=["text", "json", "sarif"], dest="output_format",
+                      help="report format (json/sarif for CI consumption)")
+    lint.add_argument("--output", default=None,
+                      help="write the json/sarif document to this file "
+                           "(text report still goes to stdout)")
+    lint.add_argument("--strict-noqa", action="store_true",
+                      help="advisory finding for every unused suppression")
+    lint.add_argument("--verify-trace", default=None, metavar="TRACE",
+                      help="cross-check a repro.obsv JSONL event stream "
+                           "(from `repro partition --trace`) against the "
+                           "static collective footprints")
     lint.set_defaults(func=_cmd_lint)
     return parser
 

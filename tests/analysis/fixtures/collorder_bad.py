@@ -1,0 +1,32 @@
+"""Seeded COLL-ORDER: both branch arms collective, unequal must-sets.
+
+The conditions are *not* rank-dependent — that is the point: SPMD-DIV
+stays quiet, but if the data the condition reads ever differs across
+ranks the lock-step protocol misaligns payloads instead of deadlocking.
+"""
+
+
+def mixed_reduction(comm, values, use_sparse):
+    if use_sparse:  # ORDER: alltoall vs allgather
+        return comm.alltoall(values)
+    else:
+        return comm.allgather(values)
+
+
+def conditional_expression(comm, x, big):
+    return comm.allreduce(x) if big else comm.bcast(x)  # ORDER
+
+
+def _scatter(comm, values):
+    return comm.alltoall(values)
+
+
+def _mirror(comm, values):
+    return comm.allgather(values)
+
+
+def helper_arms(comm, values, use_sparse):
+    if use_sparse:  # ORDER: unequal must-sets through local helpers
+        return _scatter(comm, values)
+    else:
+        return _mirror(comm, values)

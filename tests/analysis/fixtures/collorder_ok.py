@@ -1,0 +1,29 @@
+"""Clean twin of collorder_bad: zero findings expected.
+
+Equal guaranteed collective sets across arms are fine, and a collective
+in only one arm of a data-dependent branch is not COLL-ORDER's business
+(nor SPMD-DIV's, since the condition is not rank-dependent).
+"""
+
+
+def same_collective_different_payload(comm, values, use_sparse):
+    if use_sparse:
+        return comm.allreduce(values[:1])
+    else:
+        return comm.allreduce(values)
+
+
+def one_sided_branch(comm, values, verbose):
+    total = 0
+    if verbose:
+        total = comm.allreduce(len(values))
+    return total
+
+
+def loop_arm_is_may_not_must(comm, chunks, streaming):
+    if streaming:
+        for chunk in chunks:
+            comm.bcast(chunk)
+    else:
+        comm.bcast(chunks)
+    return chunks

@@ -1,0 +1,20 @@
+"""Seeded DTYPE-NARROW: int32 casts of label / global-id arrays."""
+
+import numpy as np
+
+
+def narrow_labels(labels):
+    return labels.astype(np.int32)  # DTYPE: astype on a label array
+
+
+def narrow_kwarg(cluster_ids):
+    return np.asarray(cluster_ids, dtype=np.int32)  # DTYPE: dtype kwarg
+
+
+def narrow_target(raw):
+    global_ids = np.array(raw, dtype="int32")  # DTYPE: labelish target name
+    return global_ids
+
+
+def narrow_string_dtype(gids):
+    return gids.astype("i4")  # DTYPE: string dtype spelling

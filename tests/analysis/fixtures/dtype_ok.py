@@ -1,0 +1,19 @@
+"""Clean twin of dtype_bad: zero findings expected.
+
+int64 is always fine, and int32 is fine for quantities that are not
+node labels or global ids (bounded geometry, local degree counts).
+"""
+
+import numpy as np
+
+
+def widen_labels(labels):
+    return labels.astype(np.int64)
+
+
+def narrow_positions(pos):
+    return pos.astype(np.int32)
+
+
+def local_degree_scratch(n):
+    return np.zeros(n, dtype=np.int32)

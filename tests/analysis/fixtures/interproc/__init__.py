@@ -1,0 +1,1 @@
+"""Seeded cross-file divergence fixture (bad twin of interproc_ok)."""

@@ -1,0 +1,1 @@
+"""Clean twin of the ``interproc`` fixture: zero findings expected."""

@@ -1,0 +1,28 @@
+"""Collective helpers called unconditionally; rank-guarded code is local.
+
+The whole-program pass must produce zero findings here: guarding *local*
+work on the rank is the normal SPMD pattern, and an early return is fine
+when no collectives follow it.
+"""
+
+from .helpers import global_quality, summarize, sync_labels
+
+
+def synced(dgraph, comm, labels):
+    labels = sync_labels(dgraph, comm, labels)
+    if comm.rank == 0:
+        summarize(labels)
+    return labels
+
+
+def scored(comm, cut):
+    total = global_quality(comm, cut)
+    if comm.rank == 0:
+        total = -total
+    return total
+
+
+def guarded_tail(comm, labels):
+    if comm.rank != 0:
+        return None
+    return summarize(labels)

@@ -1,0 +1,32 @@
+"""Seeded MUT-BUF: in-place writes to CSR buffers of shared carriers."""
+
+import numpy as np
+
+
+def zero_weights(graph):
+    graph.adjwgt[:] = 0  # MUT-BUF: subscript write
+
+
+def bump_weights(dgraph):
+    dgraph.vwgt += 1  # MUT-BUF: augmented assignment writes in place
+
+
+def sort_in_place(backend):
+    backend.adjncy.sort()  # MUT-BUF: ndarray mutator method
+
+
+def scatter_counts(graph, idx):
+    np.add.at(graph.degrees, idx, 1)  # MUT-BUF: ufunc.at mutates arg 0
+
+
+def write_through_alias(graph):
+    xadj = graph.xadj
+    xadj[0] = 0  # MUT-BUF: one-level local alias of a carrier buffer
+
+
+def swap_buffer(graph, arr):
+    graph.xadj = arr  # MUT-BUF: rebinding swaps the shared buffer out
+
+
+def annotated_carrier(g: "Graph"):
+    g.vwgt.fill(1)  # MUT-BUF: annotation marks the carrier

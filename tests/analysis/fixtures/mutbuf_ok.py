@@ -1,0 +1,31 @@
+"""Clean twin of mutbuf_bad: zero findings expected.
+
+Copies are private data (a call breaks the alias on purpose), derived
+arrays are fresh allocations, and parameters without the Graph/backend
+naming or annotation carry no CSR contract.
+"""
+
+import numpy as np
+
+
+def copy_then_sort(backend):
+    order = backend.adjncy.copy()
+    order.sort()
+    return order
+
+
+def grow_weights(graph):
+    vwgt = graph.vwgt + 1
+    vwgt[0] = 7
+    return vwgt
+
+
+def local_scratch(graph, idx):
+    counts = np.zeros(len(graph.xadj))
+    np.add.at(counts, idx, 1)
+    return counts
+
+
+def non_carrier(values):
+    values[:] = 0
+    return values

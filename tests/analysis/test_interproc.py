@@ -1,0 +1,161 @@
+"""Tests for the whole-program layer: Project / call graph / footprints,
+the interprocedural rules (cross-file SPMD-DIV, COLL-ORDER) and the
+ProcessBackend-prep rules (MUT-BUF, DTYPE-NARROW).
+
+Like ``test_linter.py``, the fixture corpus carries its own oracle:
+marker comments (``# DIV``, ``# ORDER``, ``# MUT-BUF``, ``# DTYPE``)
+name every line that must be flagged; the clean twins must stay at zero
+findings even when linted together with their bad siblings (the whole
+``fixtures/`` tree is one project, so this also guards against
+cross-fixture pollution through conservative dispatch-by-name).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    FootprintAnalysis,
+    Project,
+    Severity,
+    build_call_graph,
+    lint_file,
+    lint_paths,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+_MARKERS = {
+    "# ORDER": "COLL-ORDER",
+    "# MUT-BUF": "MUT-BUF",
+    "# DTYPE": "DTYPE-NARROW",
+    "# DIV": "SPMD-DIV",
+}
+
+
+def expected_findings(path: Path) -> set[tuple[int, str]]:
+    expected = set()
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        for marker, code in _MARKERS.items():
+            if marker in line:
+                expected.add((lineno, code))
+                break
+    return expected
+
+
+class TestNewRuleCorpus:
+    @pytest.mark.parametrize("name", ["collorder_bad.py", "mutbuf_bad.py",
+                                      "dtype_bad.py"])
+    def test_bad_fixtures_flag_exactly_the_marked_lines(self, name):
+        path = FIXTURES / name
+        expected = expected_findings(path)
+        assert expected, f"fixture {name} has no expected-finding markers"
+        assert {(f.line, f.code) for f in lint_file(path)} == expected
+
+    @pytest.mark.parametrize("name", ["collorder_ok.py", "mutbuf_ok.py",
+                                      "dtype_ok.py"])
+    def test_clean_twins_have_zero_findings(self, name):
+        assert lint_file(FIXTURES / name) == []
+
+    @pytest.mark.parametrize("name", ["collorder_bad.py", "mutbuf_bad.py",
+                                      "dtype_bad.py"])
+    def test_new_rules_are_errors(self, name):
+        findings = lint_file(FIXTURES / name)
+        assert findings
+        assert all(f.severity is Severity.ERROR for f in findings)
+
+
+class TestCrossFileDivergence:
+    def test_bad_package_flags_exactly_the_marked_lines(self):
+        package = FIXTURES / "interproc"
+        expected = {
+            (Path(file).name, line, code)
+            for file in sorted(package.glob("*.py"))
+            for line, code in expected_findings(file)
+        }
+        assert expected, "interproc package has no expected-finding markers"
+        actual = {
+            (Path(f.path).name, f.line, f.code)
+            for f in lint_paths([package])
+        }
+        assert actual == expected
+
+    def test_clean_twin_package_has_zero_findings(self):
+        assert lint_paths([FIXTURES / "interproc_ok"]) == []
+
+    def test_twins_stay_clean_inside_the_full_corpus_project(self):
+        clean = {"collorder_ok.py", "mutbuf_ok.py", "dtype_ok.py",
+                 "driver_ok.py"}
+        dirty = {Path(f.path).name for f in lint_paths([FIXTURES])}
+        assert not clean & dirty
+
+    def test_helpers_alone_are_clean(self):
+        # The collectives live in the helpers; the *divergence* lives in
+        # the driver.  Linting the helper module by itself must be quiet.
+        assert lint_file(FIXTURES / "interproc" / "helpers.py") == []
+
+
+def _analysis(sources: dict[str, str]) -> FootprintAnalysis:
+    return FootprintAnalysis(Project.from_sources(sources))
+
+
+class TestFootprints:
+    def test_branch_must_is_the_intersection_of_arms(self):
+        fp = _analysis({"m": (
+            "def f(comm, flag):\n"
+            "    if flag:\n"
+            "        comm.allreduce(1)\n"
+            "        comm.barrier()\n"
+            "    else:\n"
+            "        comm.barrier()\n"
+        )}).footprint("m.f")
+        assert fp.may == frozenset({"allreduce", "barrier"})
+        assert fp.must == frozenset({"barrier"})
+
+    def test_loop_body_is_may_only(self):
+        fp = _analysis({"m": (
+            "def f(comm, xs):\n"
+            "    for x in xs:\n"
+            "        comm.allgather(x)\n"
+        )}).footprint("m.f")
+        assert fp.may == frozenset({"allgather"})
+        assert fp.must == frozenset()
+
+    def test_cross_module_import_resolution(self):
+        analysis = _analysis({
+            "pkg.util": "def sync(comm):\n    comm.alltoall([])\n",
+            "pkg.driver": (
+                "from pkg.util import sync\n"
+                "def run(comm):\n"
+                "    sync(comm)\n"
+            ),
+        })
+        assert analysis.footprint("pkg.driver.run").must == \
+            frozenset({"alltoall"})
+
+    def test_recursive_scc_reaches_a_fixpoint(self):
+        analysis = _analysis({"m": (
+            "def a(comm, n):\n"
+            "    comm.barrier()\n"
+            "    if n:\n"
+            "        b(comm, n - 1)\n"
+            "def b(comm, n):\n"
+            "    a(comm, n)\n"
+        )})
+        graph = build_call_graph(analysis.project)
+        assert any({"m.a", "m.b"} <= set(scc) for scc in graph.sccs)
+        assert analysis.footprint("m.b").must == frozenset({"barrier"})
+        assert analysis.footprint("m.a").may == frozenset({"barrier"})
+
+    def test_real_engine_footprints_are_interprocedural(self):
+        # Regression guard: if the whole-program pass silently stopped
+        # resolving calls, these footprints would collapse to direct
+        # collectives only and the trace cross-check would go blind.
+        src = Path(__file__).resolve().parents[2] / "src" / "repro"
+        project = Project.from_paths(sorted(src.rglob("*.py")))
+        analysis = FootprintAnalysis(project)
+        sclp = analysis.footprint("repro.engine.sclp.run_sclp")
+        assert "halo_exchange" in sclp.may
+        assert "allreduce" in sclp.may

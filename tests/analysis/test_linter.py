@@ -9,6 +9,7 @@ read straight from the file and cannot drift from the code.
 from __future__ import annotations
 
 import io
+import json
 from pathlib import Path
 
 import pytest
@@ -81,6 +82,117 @@ class TestNoqa:
             "    world.slots[0] = 1  # repro: noqa[mut-shared]\n"
         )
         assert lint_source(source) == []
+
+    def test_noqa_inside_a_string_literal_is_data_not_suppression(self):
+        source = (
+            "def f(world):\n"
+            "    world.slots[0] = '# repro: noqa'  # a comment, not a noqa\n"
+        )
+        findings = lint_source(source)
+        assert [(f.line, f.code) for f in findings] == [(2, "MUT-SHARED")]
+
+    def test_noqa_on_closing_line_of_multiline_statement(self):
+        # The finding is reported at the statement's first line; the
+        # suppression sits on its last.  Statement line spans bridge them.
+        source = (
+            "def f(world, compute):\n"
+            "    world.slots[0] = compute(\n"
+            "        1,\n"
+            "        2,\n"
+            "    )  # repro: noqa[MUT-SHARED] the test rig owns this world\n"
+        )
+        assert lint_source(source) == []
+
+    def test_noqa_on_compound_header_does_not_blanket_the_body(self):
+        source = (
+            "def f(world):  # repro: noqa\n"
+            "    world.slots[0] = 1\n"
+        )
+        findings = lint_source(source)
+        assert [(f.line, f.code) for f in findings] == [(2, "MUT-SHARED")]
+
+    def test_justification_text_is_preserved(self):
+        from repro.analysis.noqa import parse_suppressions
+
+        sup = parse_suppressions(
+            "x = 1  # repro: noqa[SPMD-DIV] replay guard, rank 0 only\n"
+        )
+        assert len(sup.entries) == 1
+        assert sup.entries[0].codes == frozenset({"SPMD-DIV"})
+        assert sup.entries[0].justification == "replay guard, rank 0 only"
+
+
+class TestStrictNoqa:
+    def test_unused_suppression_is_an_advisory_finding(self):
+        source = "def f(x):\n    return x  # repro: noqa[SPMD-DIV] stale\n"
+        findings = lint_source(source, strict_noqa=True)
+        assert [(f.code, f.severity) for f in findings] == \
+            [("NOQA-UNUSED", Severity.ADVICE)]
+        assert "SPMD-DIV" in findings[0].message
+
+    def test_used_suppression_is_not_reported(self):
+        source = (
+            "def f(world):\n"
+            "    world.slots[0] = 1  # repro: noqa[MUT-SHARED] rig owns it\n"
+        )
+        assert lint_source(source, strict_noqa=True) == []
+
+    def test_strict_noqa_never_fails_the_run(self, capsys):
+        path = FIXTURES / "noqa_cases.py"
+        # noqa_cases.py keeps one live finding (wrong-code case) plus its
+        # suppressions; strict mode may only add advisories on top.
+        code = analysis_main(["lint", "--strict-noqa",
+                              "--select", "NOQA-UNUSED", str(path)])
+        assert code == 0
+
+
+class TestOutputFormats:
+    def test_json_document(self, capsys):
+        code = analysis_main(["lint", "--format", "json",
+                              str(FIXTURES / "rng_bad.py")])
+        assert code == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["errors"] >= 1 and doc["advice"] == 0
+        for finding in doc["findings"]:
+            assert set(finding) == {"path", "line", "col", "code",
+                                    "severity", "message"}
+            assert finding["code"] == "RNG-GLOBAL"
+
+    def test_sarif_document_written_to_file(self, tmp_path, capsys):
+        out = tmp_path / "lint.sarif"
+        code = analysis_main(["lint", "--format", "sarif",
+                              "--output", str(out),
+                              str(FIXTURES / "rng_bad.py")])
+        assert code == 1
+        doc = json.loads(out.read_text())
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert {"SPMD-DIV", "COLL-ORDER", "MUT-BUF", "DTYPE-NARROW",
+                "TRACE-MISMATCH", "NOQA-UNUSED"} <= rule_ids
+        assert run["results"]
+        for result in run["results"]:
+            assert result["ruleId"] == "RNG-GLOBAL"
+            assert result["level"] == "error"
+            region = result["locations"][0]["physicalLocation"]["region"]
+            assert region["startLine"] >= 1
+        # With --output the human-readable report still goes to stdout.
+        assert "RNG-GLOBAL" in capsys.readouterr().out
+
+    def test_advisories_map_to_sarif_note_level(self, capsys):
+        code = analysis_main(["lint", "--format", "sarif",
+                              str(FIXTURES / "work_miss.py")])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        levels = {r["level"] for r in doc["runs"][0]["results"]}
+        assert levels == {"note"}
+
+    def test_clean_json_run_reports_zero_counts(self, capsys):
+        code = analysis_main(["lint", "--format", "json",
+                              str(FIXTURES / "div_ok.py")])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc == {"findings": [], "errors": 0, "advice": 0}
 
 
 class TestEngine:

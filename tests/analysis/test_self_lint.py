@@ -35,3 +35,26 @@ def test_engine_tree_is_clean_including_advisories():
         "repro.analysis found findings (advisories included) in the "
         f"shared engine tree:\n{detail}"
     )
+
+
+def test_no_unused_suppressions_in_src():
+    stale = [f for f in lint_paths([SRC], strict_noqa=True)
+             if f.code == "NOQA-UNUSED"]
+    detail = "\n".join(f.format() for f in stale)
+    assert not stale, f"stale `# repro: noqa` comments in src/:\n{detail}"
+
+
+def test_every_suppression_in_src_carries_a_justification():
+    from repro.analysis import iter_python_files
+    from repro.analysis.noqa import parse_suppressions
+
+    bare = []
+    for file in iter_python_files([SRC]):
+        sup = parse_suppressions(file.read_text(encoding="utf-8"))
+        for entry in sup.entries:
+            if not entry.justification:
+                bare.append(f"{file}:{entry.line}")
+    assert not bare, (
+        "every `# repro: noqa` in src/ must say *why* the rule does not "
+        "apply; bare suppressions at:\n" + "\n".join(bare)
+    )

@@ -1,0 +1,145 @@
+"""Static <-> runtime cross-check (``repro lint --verify-trace``).
+
+The headline test is the acceptance loop: run a real traced partition
+in-process, verify the event stream against the static footprints of
+``src/repro`` (zero mismatches), then *break the static model* — remove
+an op the trace provably used from ``rules.COLLECTIVES`` — and demand
+TRACE-MISMATCH findings.  That makes stale COLLECTIVES entries a test
+failure, not a silent blind spot.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import FootprintAnalysis, Project, run_lint, verify_trace_file
+from repro.analysis import rules
+from repro.analysis.tracecheck import (
+    base_op,
+    collect_span_owners,
+    verify_trace_records,
+)
+from repro.analysis.callgraph import build_call_graph
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+@pytest.fixture(scope="module")
+def trace_events(tmp_path_factory) -> Path:
+    from repro.api import partition_graph
+    from repro.generators import rmat
+    from repro.obsv import TRACER, write_jsonl
+
+    graph = rmat(8, seed=3)
+    TRACER.enable()  # resets any spans left over from other tests
+    try:
+        partition_graph(graph, k=4, num_pes=4, seed=0)
+    finally:
+        TRACER.disable()
+    path = tmp_path_factory.mktemp("trace") / "trace.events.jsonl"
+    write_jsonl(path, TRACER)
+    return path
+
+
+def _comm_ops(path: Path) -> set[str]:
+    ops = set()
+    for line in path.read_text().splitlines():
+        record = json.loads(line)
+        name = record.get("name", "")
+        if record.get("type") == "span" and name.startswith("comm."):
+            ops.add(base_op(name))
+    return ops
+
+
+class TestRealTrace:
+    def test_trace_matches_static_footprints(self, trace_events):
+        assert _comm_ops(trace_events), "traced run produced no comm spans"
+        assert verify_trace_file(trace_events, [SRC]) == []
+
+    def test_removing_a_collective_from_the_registry_fails(
+            self, trace_events, monkeypatch):
+        ops = _comm_ops(trace_events)
+        assert ops
+        victim = sorted(ops)[0]
+        monkeypatch.setattr(
+            rules, "COLLECTIVES", frozenset(rules.COLLECTIVES - {victim})
+        )
+        findings = verify_trace_file(trace_events, [SRC])
+        assert findings, f"removing {victim!r} from COLLECTIVES went unnoticed"
+        assert all(f.code == "TRACE-MISMATCH" for f in findings)
+        assert any("stale" in f.message for f in findings)
+
+    def test_cli_verify_trace_flag(self, trace_events, capsys):
+        from repro.cli import main as cli_main
+
+        code = cli_main([
+            "lint", "--verify-trace", str(trace_events), str(SRC),
+        ])
+        assert code == 0
+        assert "clean" in capsys.readouterr().out
+
+
+class TestSyntheticRecords:
+    def test_base_op_strips_tags(self):
+        assert base_op("comm.alltoall[halo]") == "alltoall"
+        assert base_op("comm.allreduce") == "allreduce"
+
+    def test_span_owners_from_literal_names(self):
+        project = Project.from_sources({"m": (
+            "def loop(comm, tracer):\n"
+            "    with tracer.span('lp.iteration'):\n"
+            "        comm.allreduce(1)\n"
+        )})
+        owners = collect_span_owners(build_call_graph(project))
+        assert owners == {"lp.iteration": ["m.loop"]}
+
+    def test_op_inside_owned_span_must_be_in_owner_footprint(self):
+        project = Project.from_sources({"m": (
+            "def loop(comm, tracer):\n"
+            "    with tracer.span('lp.iteration'):\n"
+            "        comm.allreduce(1)\n"
+            "def elsewhere(comm):\n"
+            "    comm.alltoall([])\n"
+        )})
+        analysis = FootprintAnalysis(project)
+        good = (1, {"type": "span", "name": "comm.allreduce",
+                    "parent": "lp.iteration"})
+        assert verify_trace_records([good], analysis) == []
+        # alltoall runs *somewhere* in the program, but not under
+        # lp.iteration's owner: the attribution check must catch it.
+        bad = (2, {"type": "span", "name": "comm.alltoall[halo]",
+                   "parent": "lp.iteration"})
+        findings = verify_trace_records([bad], analysis)
+        assert [f.code for f in findings] == ["TRACE-MISMATCH"]
+        assert "lp.iteration" in findings[0].message
+
+    def test_unattributed_parent_falls_back_to_program_footprint(self):
+        analysis = FootprintAnalysis(Project.from_sources({
+            "m": "def f(comm):\n    comm.barrier()\n",
+        }))
+        ok = (1, {"type": "span", "name": "comm.barrier", "parent": None})
+        assert verify_trace_records([ok], analysis) == []
+        ghost = (2, {"type": "span", "name": "comm.allgather",
+                     "parent": "coarsen.level"})
+        findings = verify_trace_records([ghost], analysis)
+        assert [f.code for f in findings] == ["TRACE-MISMATCH"]
+
+    def test_non_span_and_non_comm_records_are_ignored(self):
+        analysis = FootprintAnalysis(Project.from_sources({"m": "x = 1\n"}))
+        records = [
+            (1, {"type": "meta", "name": "comm.allgather"}),
+            (2, {"type": "span", "name": "lp.iteration"}),
+            (3, {"type": "metric", "name": "cut"}),
+        ]
+        assert verify_trace_records(records, analysis) == []
+
+    def test_missing_trace_file_is_exit_2(self):
+        stream = io.StringIO()
+        code = run_lint([str(SRC)], stream=stream,
+                        verify_trace="does/not/exist.events.jsonl")
+        assert code == 2
+        assert "no such trace file" in stream.getvalue()
