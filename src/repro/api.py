@@ -14,6 +14,7 @@ import numpy as np
 from .core.config import PartitionConfig, eco_config, fast_config, minimal_config
 from .core.partitioner import sequential_partition
 from .dist.dist_partitioner import parallel_partition
+from .engine.backend import resolve_backend
 from .graph.csr import Graph
 from .graph.validation import check_partition
 from .metrics.quality import PartitionQuality
@@ -57,6 +58,7 @@ def partition_graph(
     seed: int = 0,
     config: PartitionConfig | None = None,
     initial_partition: np.ndarray | None = None,
+    backend: str | None = None,
 ) -> PartitionResult:
     """Partition ``graph`` into ``k`` blocks with the ParHIP reproduction.
 
@@ -75,6 +77,13 @@ def partition_graph(
         paper's future-work scenario): its cut edges are protected in
         the first V-cycle, and if it is balanced the result is never
         worse than it.
+    backend:
+        Execution backend for parallel runs: ``'spmd'`` (simulated
+        threads, the default), ``'process'`` (real OS processes over
+        shared-memory CSR), or ``'local'`` (force the sequential
+        algorithm regardless of ``num_pes``).  ``None`` defers to
+        ``REPRO_BACKEND``; an explicit argument always wins over the
+        environment.
 
     Returns
     -------
@@ -84,14 +93,15 @@ def partition_graph(
         if preset not in _PRESETS:
             raise ValueError(f"unknown preset {preset!r}; choose from {sorted(_PRESETS)}")
         config = _PRESETS[preset](k=k, epsilon=epsilon)
-    if num_pes <= 1:
+    resolved_backend = resolve_backend(backend)
+    if num_pes <= 1 or resolved_backend == "local":
         result = sequential_partition(graph, config, seed=seed,
                                       input_partition=initial_partition)
         out = PartitionResult(result.partition, result.quality, config, 1, None)
     else:
         presult = parallel_partition(
             graph, config, num_pes=num_pes, machine=machine, seed=seed,
-            initial_partition=initial_partition,
+            initial_partition=initial_partition, backend=resolved_backend,
         )
         out = PartitionResult(
             presult.partition, presult.quality, config, num_pes, presult.sim_time

@@ -107,6 +107,7 @@ def _cmd_partition(args: argparse.Namespace) -> int:
             seed=args.seed,
             config=config,
             initial_partition=initial,
+            backend=args.backend,
         )
     finally:
         if args.trace:
@@ -228,6 +229,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--preset", choices=("minimal", "fast", "eco"), default="fast")
     p.add_argument("--num-pes", type=int, default=1, dest="num_pes")
     p.add_argument("--machine", choices=("A", "B"), default="B")
+    p.add_argument(
+        "--backend", choices=("local", "spmd", "process"), default=None,
+        help="execution backend for parallel runs (default: REPRO_BACKEND or spmd)",
+    )
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--flows", action="store_true",
                    help="enable flow-based refinement in the EA engine")

@@ -140,9 +140,11 @@ def size_constrained_label_propagation(
         Sweep selector for the chunked kernels: ``'full'`` rescans every
         node each iteration, ``'frontier'`` only the active set (label-
         identical, faster once labels converge); ``None`` defers to
-        ``REPRO_LP_FRONTIER``, defaulting to ``frontier`` at
-        ``chunk_size > 1`` and ``full`` at the bit-exact
-        ``chunk_size == 1``.  Ignored by the scan engine.
+        ``REPRO_LP_FRONTIER`` at ``chunk_size > 1`` (default
+        ``frontier``) and always picks ``full`` at the bit-exact
+        ``chunk_size == 1`` — the environment cannot silently change
+        bit-exact results, only an explicit ``engine=`` can.  Ignored
+        by the scan engine.
 
     Returns
     -------
@@ -161,7 +163,9 @@ def size_constrained_label_propagation(
     chunk = resolve_chunk_size(chunk_size, default=SCAN_ENGINE)
     if chunk != 0:
         resolved_engine = resolve_engine(
-            engine, default=FRONTIER_ENGINE if chunk > 1 else FULL_ENGINE
+            engine,
+            default=FRONTIER_ENGINE if chunk > 1 else FULL_ENGINE,
+            chunk=chunk,
         )
     elif engine == FRONTIER_ENGINE:
         raise ValueError(

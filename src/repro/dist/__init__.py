@@ -9,20 +9,26 @@ from .comm import (
     payload_bytes,
 )
 from .dgraph import DistGraph, balanced_vtxdist
-from .runtime import SpmdDeadlockError, SpmdResult, run_spmd
+from .proc_comm import ProcComm
+from .runtime import SpmdDeadlockError, SpmdResult, run_spmd, run_spmd_processes
+from .shm import SharedCSR, attach_graph
 
 __all__ = [
     "CollectiveMismatchError",
     "CommStats",
     "DistGraph",
+    "ProcComm",
+    "SharedCSR",
     "SharedStateMutationError",
     "SimComm",
     "SpmdDeadlockError",
     "SpmdResult",
     "World",
+    "attach_graph",
     "balanced_vtxdist",
     "payload_bytes",
     "run_spmd",
+    "run_spmd_processes",
 ]
 
 

@@ -63,6 +63,7 @@ from ..perf.machine import SERIAL, Machine
 __all__ = [
     "World",
     "SimComm",
+    "CollectiveOps",
     "CommStats",
     "payload_bytes",
     "CollectiveMismatchError",
@@ -81,6 +82,11 @@ class CollectiveMismatchError(RuntimeError):
         super().__init__(message)
         self.divergent_ranks = tuple(divergent_ranks)
 
+    def __reduce__(self):
+        # Keep ``divergent_ranks`` across pickling: the process backend
+        # ships this exception from worker to parent through a queue.
+        return (type(self), (self.args[0], self.divergent_ranks))
+
 
 class SharedStateMutationError(RuntimeError):
     """Direct write to shared ``World`` state outside ``SimComm``."""
@@ -92,19 +98,60 @@ def _env_sanitize() -> bool:
     }
 
 
+#: source files whose frames the call-site reporter skips — the comm
+#: layer itself; :mod:`repro.dist.proc_comm` registers its file too
+_INTERNAL_FILES: set[str] = {__file__}
+
+
 def _callsite(max_frames: int = 2) -> str:
     """Short ``file:line in func`` chain of the first non-comm frames."""
     frame = sys._getframe(2)
     parts: list[str] = []
     while frame is not None and len(parts) < max_frames:
         code = frame.f_code
-        if code.co_filename != __file__:
+        if code.co_filename not in _INTERNAL_FILES:
             parts.append(
                 f"{os.path.basename(code.co_filename)}:{frame.f_lineno} "
                 f"in {code.co_name}"
             )
         frame = frame.f_back
     return " <- ".join(parts) or "<unknown>"
+
+
+def _mismatch_error(
+    tags: Sequence[tuple[str, int, str] | None],
+) -> CollectiveMismatchError | None:
+    """Build the divergence error from one snapshot of per-rank op tags.
+
+    Returns ``None`` when all ranks agree.  Shared by the thread-backed
+    sanitizer (every rank computes the identical verdict from the same
+    snapshot) and the process backend's hub (which computes it once and
+    broadcasts it), so both backends report divergence identically.
+    """
+    if len({(t[0], t[1]) for t in tags if t is not None}) <= 1 and None not in tags:
+        return None
+    # Majority opinion defines the common stream; the rest diverged.
+    counts: dict[tuple[str, int], int] = {}
+    for tag in tags:
+        if tag is not None:
+            key = (tag[0], tag[1])
+            counts[key] = counts.get(key, 0) + 1
+    majority = max(counts, key=lambda key: counts[key])
+    divergent = [
+        r for r, tag in enumerate(tags)
+        if tag is None or (tag[0], tag[1]) != majority
+    ]
+    lines = [
+        f"  rank {r}: "
+        + (f"{tag[0]} #{tag[1]} at {tag[2]}" if tag is not None else "<no collective>")
+        for r, tag in enumerate(tags)
+    ]
+    return CollectiveMismatchError(
+        f"collective order mismatch (SPMD divergence): rank(s) {divergent} "
+        f"diverged from the common stream ({majority[0]} #{majority[1]}):\n"
+        + "\n".join(lines),
+        divergent_ranks=divergent,
+    )
 
 
 class _GuardedList(list):
@@ -259,84 +306,22 @@ class World:
         return SimComm(self, rank)
 
 
-class SimComm:
-    """Rank-local communicator handle (the ``comm`` of the SPMD programs)."""
+class CollectiveOps:
+    """The collective surface, written once over an abstract ``_collect``.
 
-    def __init__(self, world: World, rank: int) -> None:
-        self.world = world
-        self.rank = rank
-        self.size = world.size
-        self.rng = np.random.default_rng((world.seed, rank))
-        self._outbox: dict[int, list[Any]] = {}
-        self._inbox: list[tuple[int, Any]] = []
-        self._seq = 0  # collectives issued by this rank (sanitizer tags)
-        # Remember which rank runs on this thread, for mutation attribution.
-        world._local.rank = rank
+    Subclasses provide ``rank``, ``size``, ``stats``, an ``_outbox`` dict
+    and ``_collect(value, recv_bytes_fn, op)`` — which gathers one value
+    per rank, advances the subclass's notion of the simulated clock, and
+    returns the gathered list indexed by rank.  :class:`SimComm` binds
+    this to the thread-backed lock-step protocol;
+    :class:`~repro.dist.proc_comm.ProcComm` binds the *same* methods to
+    a queue protocol over OS processes, so the two backends cannot drift
+    in collective semantics or byte accounting.
+    """
 
-    # ------------------------------------------------------------------
-    # Cost accounting
-    # ------------------------------------------------------------------
-    def work(self, units: float) -> None:
-        """Account ``units`` of local computation on this rank's clock."""
-        stats = self.world.stats[self.rank]
-        stats.work_units += units
-        self.world._sim_time[self.rank] += self.world.machine.compute_time(units)
-
-    @property
-    def sim_time(self) -> float:
-        """This rank's simulated clock, in seconds."""
-        return float(self.world._sim_time[self.rank])
-
-    @property
-    def stats(self) -> CommStats:
-        return self.world.stats[self.rank]
-
-    # ------------------------------------------------------------------
-    # The lock-step core
-    # ------------------------------------------------------------------
-    def _sync(self) -> None:
-        self.world.barrier.wait()
-
-    def _put(self, container: list[Any], value: Any) -> None:
-        """Write ``container[self.rank]`` holding the sanitizer write token."""
-        world = self.world
-        if world.sanitize:
-            world._local.unlocked = True
-            try:
-                container[self.rank] = value
-            finally:
-                world._local.unlocked = False
-        else:
-            container[self.rank] = value
-
-    def _verify_tags(self) -> None:
-        """After the first barrier: do all ranks run the same collective?"""
-        tags = list(self.world._san_tags)
-        if len({(t[0], t[1]) for t in tags if t is not None}) <= 1 and None not in tags:
-            return
-        # Majority opinion defines the common stream; the rest diverged.
-        # Every rank computes the identical verdict from the same snapshot.
-        counts: dict[tuple[str, int], int] = {}
-        for tag in tags:
-            if tag is not None:
-                key = (tag[0], tag[1])
-                counts[key] = counts.get(key, 0) + 1
-        majority = max(counts, key=lambda key: counts[key])
-        divergent = [
-            r for r, tag in enumerate(tags)
-            if tag is None or (tag[0], tag[1]) != majority
-        ]
-        lines = [
-            f"  rank {r}: "
-            + (f"{tag[0]} #{tag[1]} at {tag[2]}" if tag is not None else "<no collective>")
-            for r, tag in enumerate(tags)
-        ]
-        raise CollectiveMismatchError(
-            f"collective order mismatch (SPMD divergence): rank(s) {divergent} "
-            f"diverged from the common stream ({majority[0]} #{majority[1]}):\n"
-            + "\n".join(lines),
-            divergent_ranks=divergent,
-        )
+    rank: int
+    size: int
+    _outbox: dict[int, list[Any]]
 
     def _collect(
         self,
@@ -344,47 +329,11 @@ class SimComm:
         recv_bytes_fn: Callable[[list[Any]], int],
         op: str = "collective",
     ) -> list[Any]:
-        """Gather one value from each rank; advance all clocks in lock-step."""
-        world = self.world
-        traced = TRACER.enabled  # process-global: uniform across ranks
-        if traced:
-            wall_t0 = time.perf_counter()
-            sim_t0 = float(world._sim_time[self.rank])
-        world.progress[self.rank] = (op, self.stats.collectives + 1)
-        if world.sanitize:
-            self._seq += 1
-            world._san_tags[self.rank] = (op, self._seq, _callsite())
-        self._put(world.slots, value)
-        self._sync()
-        if world.sanitize:
-            self._verify_tags()
-        gathered = list(world.slots)
-        # Deterministic clock update: every rank computes the same new base
-        # time from the snapshot, then adds its own receive cost.
-        self._put(world.scratch, world._sim_time[self.rank])
-        self._sync()
-        base = max(world.scratch)  # type: ignore[type-var]
-        recv = recv_bytes_fn(gathered)
-        world._sim_time[self.rank] = base + world.machine.collective_time(self.size, recv)
-        self.stats.collectives += 1
-        self.stats.record_op(op, count=1)
-        self._sync()
-        if traced:
-            sim_t1 = float(world._sim_time[self.rank])
-            TRACER.record_span(
-                f"comm.{op}",
-                rank=self.rank,
-                wall_ts=wall_t0,
-                wall_dur=time.perf_counter() - wall_t0,
-                sim_ts=sim_t0,
-                sim_dur=sim_t1 - sim_t0,
-                op=op,
-                bytes=int(recv),
-                seq=self.stats.collectives,
-            )
-            TRACER.metrics.counter("comm.collectives").inc()
-            TRACER.metrics.counter("comm.recv_bytes").inc(int(recv))
-        return gathered
+        raise NotImplementedError
+
+    @property
+    def stats(self) -> CommStats:
+        raise NotImplementedError
 
     # ------------------------------------------------------------------
     # Collectives
@@ -506,3 +455,111 @@ class SimComm:
             for payload in payloads:
                 flat.append((src, payload))
         return flat
+
+
+class SimComm(CollectiveOps):
+    """Rank-local communicator handle (the ``comm`` of the SPMD programs)."""
+
+    def __init__(self, world: World, rank: int) -> None:
+        self.world = world
+        self.rank = rank
+        self.size = world.size
+        self.rng = np.random.default_rng((world.seed, rank))
+        self._outbox: dict[int, list[Any]] = {}
+        self._inbox: list[tuple[int, Any]] = []
+        self._seq = 0  # collectives issued by this rank (sanitizer tags)
+        # Remember which rank runs on this thread, for mutation attribution.
+        world._local.rank = rank
+
+    # ------------------------------------------------------------------
+    # Cost accounting
+    # ------------------------------------------------------------------
+    def work(self, units: float) -> None:
+        """Account ``units`` of local computation on this rank's clock."""
+        stats = self.world.stats[self.rank]
+        stats.work_units += units
+        self.world._sim_time[self.rank] += self.world.machine.compute_time(units)
+
+    @property
+    def sim_time(self) -> float:
+        """This rank's simulated clock, in seconds."""
+        return float(self.world._sim_time[self.rank])
+
+    @property
+    def stats(self) -> CommStats:
+        return self.world.stats[self.rank]
+
+    # ------------------------------------------------------------------
+    # The lock-step core
+    # ------------------------------------------------------------------
+    def _sync(self) -> None:
+        self.world.barrier.wait()
+
+    def _put(self, container: list[Any], value: Any) -> None:
+        """Write ``container[self.rank]`` holding the sanitizer write token."""
+        world = self.world
+        if world.sanitize:
+            world._local.unlocked = True
+            try:
+                container[self.rank] = value
+            finally:
+                world._local.unlocked = False
+        else:
+            container[self.rank] = value
+
+    def _verify_tags(self) -> None:
+        """After the first barrier: do all ranks run the same collective?
+
+        Every rank computes the identical verdict from the same snapshot.
+        """
+        error = _mismatch_error(list(self.world._san_tags))
+        if error is not None:
+            raise error
+
+    def _collect(
+        self,
+        value: Any,
+        recv_bytes_fn: Callable[[list[Any]], int],
+        op: str = "collective",
+    ) -> list[Any]:
+        """Gather one value from each rank; advance all clocks in lock-step."""
+        world = self.world
+        traced = TRACER.enabled  # process-global: uniform across ranks
+        if traced:
+            wall_t0 = time.perf_counter()
+            sim_t0 = float(world._sim_time[self.rank])
+        world.progress[self.rank] = (op, self.stats.collectives + 1)
+        if world.sanitize:
+            self._seq += 1
+            world._san_tags[self.rank] = (op, self._seq, _callsite())
+        self._put(world.slots, value)
+        self._sync()
+        if world.sanitize:
+            self._verify_tags()
+        gathered = list(world.slots)
+        # Deterministic clock update: every rank computes the same new base
+        # time from the snapshot, then adds its own receive cost.
+        self._put(world.scratch, world._sim_time[self.rank])
+        self._sync()
+        base = max(world.scratch)  # type: ignore[type-var]
+        recv = recv_bytes_fn(gathered)
+        world._sim_time[self.rank] = base + world.machine.collective_time(self.size, recv)
+        self.stats.collectives += 1
+        self.stats.record_op(op, count=1)
+        self._sync()
+        if traced:
+            sim_t1 = float(world._sim_time[self.rank])
+            TRACER.record_span(
+                f"comm.{op}",
+                rank=self.rank,
+                wall_ts=wall_t0,
+                wall_dur=time.perf_counter() - wall_t0,
+                sim_ts=sim_t0,
+                sim_dur=sim_t1 - sim_t0,
+                op=op,
+                bytes=int(recv),
+                seq=self.stats.collectives,
+            )
+            TRACER.metrics.counter("comm.collectives").inc()
+            TRACER.metrics.counter("comm.recv_bytes").inc(int(recv))
+        return gathered

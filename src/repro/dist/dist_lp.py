@@ -67,7 +67,7 @@ from ..engine.kernels import (
     resolve_chunk_size,
     resolve_engine,
 )
-from ..engine.backend import SpmdBackend, exchange_interface_labels
+from ..engine.backend import SpmdBackend, exchange_interface_labels, make_dist_backend
 from ..engine.sclp import run_sclp
 from .comm import SimComm
 from .dgraph import DistGraph
@@ -121,9 +121,11 @@ def parallel_label_propagation(
     scan engine (0), the bit-identical chunked kernels (1), or throughput
     chunking (>1); ``None`` defers to ``REPRO_LP_CHUNK`` and the default.
     ``engine`` selects the ``full`` sweep or the ``frontier`` active-set
-    engine (``None`` defers to ``REPRO_LP_FRONTIER``; the default is
-    ``frontier`` for throughput chunking, ``full`` for the bit-exact
-    ``chunk_size <= 1`` modes).  ``delta_exchange`` selects the sparse
+    engine (``None`` defers to ``REPRO_LP_FRONTIER`` for throughput
+    chunking, default ``frontier``; the bit-exact ``chunk_size <= 1``
+    modes always run ``full`` unless an explicit ``engine=`` says
+    otherwise — the environment cannot silently change bit-exact
+    results).  ``delta_exchange`` selects the sparse
     interface exchange (the default) over the dense per-destination
     payloads.
     """
@@ -134,7 +136,9 @@ def parallel_label_propagation(
         raise ValueError("refinement mode requires k")
     chunk = resolve_chunk_size(chunk_size)
     resolved_engine = resolve_engine(
-        engine, default=FRONTIER_ENGINE if chunk > 1 else FULL_ENGINE
+        engine,
+        default=FRONTIER_ENGINE if chunk > 1 else FULL_ENGINE,
+        chunk=chunk,
     )
     if chunk == 0 and resolved_engine == FRONTIER_ENGINE:
         if engine is not None:
@@ -144,7 +148,7 @@ def parallel_label_propagation(
             )
         resolved_engine = FULL_ENGINE
     return run_sclp(
-        SpmdBackend(dgraph, comm),
+        make_dist_backend(dgraph, comm),
         labels,
         int(max_block_weight),
         iterations,

@@ -49,7 +49,7 @@ from .comm import SimComm
 from .dgraph import DistGraph, balanced_vtxdist
 from .dist_contraction import parallel_contract, parallel_uncoarsen
 from .dist_lp import distributed_edge_cut, parallel_label_propagation
-from .runtime import run_spmd
+from .runtime import run_spmd, run_spmd_processes
 
 __all__ = [
     "ParallelResult",
@@ -419,20 +419,32 @@ def parallel_partition(
     memory_scale: float = 1.0,
     replica_memory_scale: float | None = None,
     initial_partition: np.ndarray | None = None,
+    backend: str | None = None,
 ) -> ParallelResult:
     """Partition ``graph`` with the full parallel system on ``num_pes`` PEs.
+
+    ``backend`` selects the execution substrate for the SPMD ranks:
+    ``'spmd'`` (simulated PEs as lock-step threads, the default) or
+    ``'process'`` (real OS processes over shared-memory CSR segments via
+    :func:`~repro.dist.runtime.run_spmd_processes`); ``None`` defers to
+    ``REPRO_BACKEND``.  Both substrates produce bit-identical partitions
+    and simulated clocks — the process backend additionally scales in
+    wall clock.
 
     Raises :class:`repro.perf.OutOfMemoryError` if a ``memory_budget`` (in
     scaled bytes per PE) is given and exceeded — the mechanism behind the
     ``*`` entries of Tables II/III.
     """
+    from ..engine.backend import resolve_backend
+
     config = config or fast_config()
-    result = run_spmd(
-        num_pes,
-        parhip_program,
-        graph,
-        config,
-        seed,
+    resolved = resolve_backend(backend)
+    if resolved == "local":
+        raise ValueError(
+            "parallel_partition needs a distributed backend ('spmd' or "
+            "'process'); use repro.api.partition_graph for the local path"
+        )
+    common = dict(
         machine=machine,
         seed=seed,
         sanitize=config.sanitize,
@@ -442,6 +454,12 @@ def parallel_partition(
         replica_memory_scale=replica_memory_scale,
         initial_partition=initial_partition,
     )
+    if resolved == "process":
+        result = run_spmd_processes(
+            num_pes, parhip_program, config, seed, graph=graph, **common
+        )
+    else:
+        result = run_spmd(num_pes, parhip_program, graph, config, seed, **common)
     partition, phase_times = result.value
     quality = evaluate_partition(graph, partition, config.k)
     coarse_sizes = tuple(phase_times.pop("coarse_sizes", ()))

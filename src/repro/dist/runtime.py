@@ -17,9 +17,13 @@ process-wide via ``REPRO_SPMD_TIMEOUT`` (``0`` disables the watchdog).
 
 from __future__ import annotations
 
+import multiprocessing
 import os
+import pickle
+import queue as _queue
 import threading
 import time
+import warnings
 from dataclasses import dataclass
 from typing import Any, Callable
 
@@ -28,8 +32,16 @@ import numpy as np
 from ..obsv.tracer import TRACER
 from ..perf.machine import Machine
 from .comm import CommStats, World
+from .proc_comm import ProcComm, ProcWorld, _Aborted, make_proc_world
+from .shm import SharedCSR, SharedCSRHandle, attach_graph
 
-__all__ = ["SpmdResult", "SpmdDeadlockError", "run_spmd", "DEFAULT_SPMD_TIMEOUT"]
+__all__ = [
+    "SpmdResult",
+    "SpmdDeadlockError",
+    "run_spmd",
+    "run_spmd_processes",
+    "DEFAULT_SPMD_TIMEOUT",
+]
 
 #: default wall-clock watchdog for one SPMD execution, in seconds
 DEFAULT_SPMD_TIMEOUT = 60.0
@@ -51,7 +63,10 @@ class SpmdDeadlockError(RuntimeError):
 def _resolve_timeout(timeout: float | None) -> float | None:
     """Explicit argument wins; then ``REPRO_SPMD_TIMEOUT``; then 60 s.
 
-    Values <= 0 (from either source) disable the watchdog entirely.
+    Values <= 0 (from either source) disable the watchdog entirely.  An
+    empty ``REPRO_SPMD_TIMEOUT`` counts as unset; a malformed one emits
+    a :class:`RuntimeWarning` naming the bad value and falls back to the
+    default.
     """
     if timeout is None:
         env = os.environ.get("REPRO_SPMD_TIMEOUT", "").strip()
@@ -59,6 +74,15 @@ def _resolve_timeout(timeout: float | None) -> float | None:
             try:
                 timeout = float(env)
             except ValueError:
+                # A typo like "60s" must not silently shrink-wrap to the
+                # default — say what was ignored and why.
+                warnings.warn(
+                    f"ignoring malformed REPRO_SPMD_TIMEOUT={env!r} "
+                    "(expected a number of seconds); using the "
+                    f"{DEFAULT_SPMD_TIMEOUT:.0f}s default",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
                 timeout = DEFAULT_SPMD_TIMEOUT
         else:
             timeout = DEFAULT_SPMD_TIMEOUT
@@ -124,8 +148,17 @@ def run_spmd(
         comm = world.comm(rank)
         try:
             results[rank] = program(comm, *args, **kwargs)
-        except threading.BrokenBarrierError:
-            pass  # another rank failed first; unwind quietly
+        except threading.BrokenBarrierError as exc:
+            # Quiet only when the break is the *echo* of a failure some
+            # other rank already recorded (or of the watchdog's abort).
+            # A broken barrier with no recorded failure is itself the
+            # first failure — e.g. a program aborting the barrier
+            # directly — and swallowing it would lose the only evidence.
+            with error_lock:
+                if not world.aborted and not errors:
+                    errors.append((rank, exc))
+            if not world.aborted:
+                world.abort()
         except BaseException as exc:  # noqa: BLE001 - must propagate any failure
             with error_lock:
                 errors.append((rank, exc))
@@ -181,6 +214,238 @@ def run_spmd(
 
     if errors:
         rank, first = min(errors, key=lambda pair: pair[0])
-        raise first
+        first.add_note(f"raised on SPMD rank {rank}")
+        raise first from None
 
     return SpmdResult(results, float(world.sim_time.max()), world.sim_time.copy(), world.stats)
+
+
+# ---------------------------------------------------------------------------
+# Process backend: the same contract over real OS processes
+# ---------------------------------------------------------------------------
+
+#: grace period for a result already in flight when its worker exits
+_CRASH_GRACE = 2.0
+
+
+@dataclass
+class _WorkerSpec:
+    """Everything one spawned worker needs (picklable at spawn)."""
+
+    rank: int
+    world: ProcWorld
+    program: bytes  # pickled rank-parametric program
+    payload: bytes  # pickled (args, kwargs)
+    graph_handle: SharedCSRHandle | None
+    result_queue: Any
+    trace: bool
+    wall_origin: float
+
+
+def _proc_worker(spec: _WorkerSpec) -> None:
+    """Worker entry point: run the program on one rank, report via queue."""
+    if spec.trace:
+        TRACER.enable(reset=True)
+        # Share the parent's wall origin: perf_counter is CLOCK_MONOTONIC
+        # system-wide on Linux, so merged spans share one timeline.
+        TRACER._wall_origin = spec.wall_origin
+    status = "ok"
+    result: Any = None
+    comm: ProcComm | None = None
+    segments: list = []
+    try:
+        program = pickle.loads(spec.program)
+        args, kwargs = pickle.loads(spec.payload)
+        if spec.graph_handle is not None:
+            graph, segments = attach_graph(spec.graph_handle)
+            args = (graph, *args)
+        comm = ProcComm(spec.world, spec.rank)
+        result = program(comm, *args, **kwargs)
+    except _Aborted:
+        status = "aborted"
+    except BaseException as exc:  # noqa: BLE001 - must propagate any failure
+        status = "err"
+        result = exc
+        spec.world.abort.set()  # unblock the sibling ranks
+    sim_time = comm.sim_time if comm is not None else 0.0
+    stats = comm.stats if comm is not None else CommStats()
+    records = TRACER.snapshot() if spec.trace else []
+    payload = (status, result, sim_time, stats, records)
+    try:
+        # Pickle before putting: mp.Queue pickles in a feeder thread, so
+        # an unpicklable result would otherwise hang the parent instead
+        # of failing this rank.
+        data = pickle.dumps(payload)
+    except Exception as exc:
+        fallback: BaseException = RuntimeError(
+            f"rank {spec.rank} produced an unpicklable "
+            f"{'result' if status == 'ok' else 'exception'}: {exc}"
+        )
+        data = pickle.dumps(("err", fallback, sim_time, stats, []))
+    spec.result_queue.put((spec.rank, data))
+    if status != "ok":
+        # Abort path: don't let unflushed hub answers block process exit.
+        # (On the clean path the feeder must flush — a sibling may still
+        # be waiting on the final collective's answer.)
+        spec.world.cancel_feeders()
+    del segments  # keep the shm views alive until the program returned
+
+
+def run_spmd_processes(
+    size: int,
+    program: Callable[..., Any],
+    *args: Any,
+    graph: Any = None,
+    machine: Machine | None = None,
+    seed: int = 0,
+    sanitize: bool | None = None,
+    timeout: float | None = None,
+    **kwargs: Any,
+) -> SpmdResult:
+    """Run ``program`` on ``size`` real OS processes (the process backend).
+
+    Mirrors :func:`run_spmd` — same program contract, same
+    ``sanitize``/``timeout`` resolution, same :class:`SpmdResult` — but
+    the ranks are ``multiprocessing`` workers under the spawn context,
+    each talking to a queue-backed :class:`~repro.dist.proc_comm.ProcComm`.
+
+    ``program`` and its arguments must be picklable (module-level
+    functions; no closures).  When ``graph`` is given, its CSR arrays
+    are parked in shared memory once and each worker receives the
+    reconstructed zero-copy read-only :class:`~repro.graph.csr.Graph`
+    as the first argument after ``comm``; the parent unlinks the
+    segments on every exit path, including worker crashes.
+
+    The deadlock watchdog joins on a wall-clock budget and raises
+    :class:`SpmdDeadlockError` naming the stuck ranks via the shared
+    progress table; a worker that dies without reporting raises with
+    its rank and exit code.  Per-rank simulated clocks and
+    :class:`~repro.dist.comm.CommStats` are bit-identical to
+    :func:`run_spmd` for the same program (test-enforced) — only the
+    wall clock differs, which is the point.
+    """
+    wall_budget = _resolve_timeout(timeout)
+    ctx = multiprocessing.get_context("spawn")
+    world = make_proc_world(ctx, size, machine, seed, sanitize)
+
+    if size == 1:
+        # Fast path: one rank needs no processes (and no shm round trip).
+        comm = ProcComm(world, 0)
+        call_args = args if graph is None else (graph, *args)
+        result = program(comm, *call_args, **kwargs)
+        return SpmdResult([result], comm.sim_time,
+                          np.array([comm.sim_time]), [comm.stats])
+
+    shared = SharedCSR(graph) if graph is not None else None
+    result_queue = ctx.Queue()
+    prog_bytes = pickle.dumps(program)
+    payload = pickle.dumps((args, kwargs))
+    specs = [
+        _WorkerSpec(
+            rank=rank, world=world, program=prog_bytes, payload=payload,
+            graph_handle=None if shared is None else shared.handle,
+            result_queue=result_queue, trace=TRACER.enabled,
+            wall_origin=TRACER._wall_origin,
+        )
+        for rank in range(size)
+    ]
+    procs = [
+        ctx.Process(target=_proc_worker, args=(spec,), name=f"pe-{spec.rank}",
+                    daemon=True)
+        for spec in specs
+    ]
+    outcomes: dict[int, tuple] = {}
+    try:
+        for proc in procs:
+            proc.start()
+        deadline = None if wall_budget is None else time.monotonic() + wall_budget
+        pending = set(range(size))
+        crashed: list[int] = []
+        stuck: tuple[int, ...] = ()
+        grace_until: float | None = None
+        while pending:
+            now = time.monotonic()
+            if deadline is not None and now >= deadline:
+                stuck = tuple(sorted(pending))
+                break
+            try:
+                rank, data = result_queue.get(timeout=0.1)
+            except _queue.Empty:
+                dead = [
+                    r for r in sorted(pending)
+                    if not procs[r].is_alive() and procs[r].exitcode is not None
+                ]
+                if not dead:
+                    continue
+                # The result may still be in flight through the queue's
+                # feeder pipe; give it a moment before calling it a crash.
+                if grace_until is None:
+                    grace_until = now + _CRASH_GRACE
+                elif now >= grace_until:
+                    crashed = dead
+                    break
+                continue
+            outcomes[rank] = pickle.loads(data)
+            pending.discard(rank)
+
+        if crashed:
+            world.abort.set()
+            codes = ", ".join(
+                f"rank {r} (exit code {procs[r].exitcode})" for r in crashed
+            )
+            raise RuntimeError(
+                f"SPMD worker process(es) died without reporting a result: "
+                f"{codes}; {len(pending)}/{size} ranks never finished"
+            )
+        if stuck:
+            world.abort.set()
+            details = []
+            for rank in stuck:
+                progress = world.progress(rank)
+                where = (
+                    f"last entered collective #{progress[1]} ({progress[0]})"
+                    if progress is not None
+                    else "before its first collective"
+                )
+                details.append(f"  rank {rank}: {where}")
+            raise SpmdDeadlockError(
+                f"SPMD deadlock: rank(s) {list(stuck)} still running after "
+                f"{wall_budget:.1f}s wall clock; some ranks diverged from "
+                "the common collective order:\n" + "\n".join(details),
+                stuck_ranks=stuck,
+            )
+    finally:
+        if len(outcomes) < size:
+            world.abort.set()  # some rank never reported; unwind the rest
+        for proc in procs:
+            proc.join(timeout=1.0)
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+        for q in (result_queue, world.up_queue, *world.down_queues):
+            q.close()
+        if shared is not None:
+            shared.unlink()
+
+    errors = [
+        (rank, out[1]) for rank, out in sorted(outcomes.items())
+        if out[0] == "err"
+    ]
+    if errors:
+        rank, first = errors[0]
+        first.add_note(f"raised on SPMD rank {rank} (process backend)")
+        raise first from None
+    if any(out[0] != "ok" for out in outcomes.values()):
+        aborted = sorted(r for r, out in outcomes.items() if out[0] != "ok")
+        raise RuntimeError(
+            f"rank(s) {aborted} unwound through an abort with no failure "
+            "recorded anywhere (unexpected state)"
+        )
+    if TRACER.enabled:
+        for rank in range(size):
+            TRACER.absorb(outcomes[rank][4])
+    per_rank = [outcomes[rank][1] for rank in range(size)]
+    sim_times = np.array([outcomes[rank][2] for rank in range(size)])
+    stats = [outcomes[rank][3] for rank in range(size)]
+    return SpmdResult(per_rank, float(sim_times.max()), sim_times, stats)

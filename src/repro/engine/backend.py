@@ -21,13 +21,50 @@ construction.
 
 from __future__ import annotations
 
+import os
 from typing import Protocol, runtime_checkable
 
 import numpy as np
 
 from ..graph.csr import Graph
 
-__all__ = ["ExecutionBackend", "LocalBackend", "SpmdBackend", "exchange_interface_labels"]
+__all__ = [
+    "ExecutionBackend",
+    "LocalBackend",
+    "SpmdBackend",
+    "ProcessBackend",
+    "exchange_interface_labels",
+    "make_dist_backend",
+    "resolve_backend",
+    "BACKENDS",
+]
+
+#: the three execution substrates, in the order the docs present them
+BACKENDS = ("local", "spmd", "process")
+
+
+def resolve_backend(explicit: str | None = None, default: str = "spmd") -> str:
+    """Resolve the execution-backend selector.
+
+    ``explicit`` wins when given.  Otherwise ``REPRO_BACKEND`` is
+    consulted (``local`` | ``spmd`` | ``process``), falling back to
+    ``default``.  Unknown values raise — a typo in the environment must
+    not silently select a different substrate.
+    """
+    if explicit is not None:
+        if explicit not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, got {explicit!r}"
+            )
+        return explicit
+    raw = os.environ.get("REPRO_BACKEND", "").strip().lower()
+    if not raw:
+        return default
+    if raw not in BACKENDS:
+        raise ValueError(
+            f"REPRO_BACKEND must be one of {BACKENDS}, got {raw!r}"
+        )
+    return raw
 
 
 @runtime_checkable
@@ -195,6 +232,35 @@ class SpmdBackend:
 
     def span_kwargs(self) -> dict:
         return {"comm": self.comm}
+
+
+def make_dist_backend(dgraph, comm, delta_exchange: bool = True) -> "SpmdBackend":
+    """The distributed backend matching ``comm``'s substrate.
+
+    A :class:`~repro.dist.proc_comm.ProcComm` gets a
+    :class:`ProcessBackend`, anything else a :class:`SpmdBackend` — the
+    hooks are identical either way (ProcessBackend only names the
+    substrate); this keeps traces and reprs honest about where a run
+    actually executed.
+    """
+    from ..dist.proc_comm import ProcComm
+
+    cls = ProcessBackend if isinstance(comm, ProcComm) else SpmdBackend
+    return cls(dgraph, comm, delta_exchange)
+
+
+class ProcessBackend(SpmdBackend):
+    """Distributed-memory backend over real OS processes.
+
+    The engine hooks are exactly :class:`SpmdBackend`'s — that class is
+    communicator-agnostic, touching only the collective surface — bound
+    to a :class:`~repro.dist.proc_comm.ProcComm` inside a worker of
+    :func:`~repro.dist.runtime.run_spmd_processes`.  The ``DistGraph``
+    is sliced from the shared-memory CSR graph the worker attached, so
+    the global adjacency is mapped once machine-wide instead of copied
+    per rank.  Simulated clocks, stats and labels are bit-identical to
+    the thread backend (test-enforced); only the wall clock differs.
+    """
 
 
 def exchange_interface_labels(

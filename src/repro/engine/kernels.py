@@ -149,16 +149,24 @@ def resolve_chunk_size(
 
 
 def resolve_engine(
-    explicit: str | None = None, default: str = FRONTIER_ENGINE
+    explicit: str | None = None,
+    default: str = FRONTIER_ENGINE,
+    chunk: int | None = None,
 ) -> str:
     """Resolve the sweep-engine selector to ``full`` or ``frontier``.
 
-    ``explicit`` wins when given.  Otherwise ``REPRO_LP_FRONTIER`` is
-    consulted (truthy values select the frontier engine, falsy the full
-    sweep), with empty/unknown values falling back to ``default``.  The
-    chunked engines pass ``default=FULL_ENGINE`` at ``chunk_size <= 1``
-    — the bit-exact scan contract pins the RNG tie-break there, which
-    the frontier engine replaces with the hash tie-break.
+    ``explicit`` wins when given — over the environment too, always.
+    Otherwise ``REPRO_LP_FRONTIER`` is consulted (truthy values select
+    the frontier engine, falsy the full sweep), with empty/unknown
+    values falling back to ``default``.
+
+    ``chunk``, when the caller passes its resolved chunk size, guards
+    the bit-exact contract: at ``chunk <= 1`` the environment is *not*
+    consulted and the full sweep is returned, because the node-at-a-time
+    modes pin the RNG tie-break which the frontier engine replaces with
+    the hash tie-break — an ambient ``REPRO_LP_FRONTIER=1`` must not
+    silently change bit-exact results.  An explicit ``engine=`` still
+    overrides (the caller asked for it by name).
     """
     if explicit is not None:
         if explicit not in (FULL_ENGINE, FRONTIER_ENGINE):
@@ -167,6 +175,8 @@ def resolve_engine(
                 f"got {explicit!r}"
             )
         return explicit
+    if chunk is not None and chunk <= 1:
+        return FULL_ENGINE
     raw = os.environ.get("REPRO_LP_FRONTIER", "").strip().lower()
     if raw in {"1", "true", "yes", "on", FRONTIER_ENGINE}:
         return FRONTIER_ENGINE

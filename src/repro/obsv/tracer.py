@@ -230,6 +230,19 @@ class Tracer:
             "attrs": attrs,
         })
 
+    def absorb(self, records: list[dict[str, Any]]) -> None:
+        """Merge records captured by another process's tracer.
+
+        The process backend runs one tracer per worker; at join the
+        parent folds each worker's buffer in (rank order).  Records are
+        appended as-is — workers share the parent's wall origin, so the
+        merged timeline is already consistent.
+        """
+        if not records:
+            return
+        with self._lock:
+            self.records.extend(records)
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------

@@ -84,6 +84,25 @@ class TestResolveEngine:
         with pytest.raises(ValueError):
             resolve_engine("sideways")
 
+    def test_bit_exact_chunk_ignores_env(self, monkeypatch):
+        # chunk <= 1 is bit-exact: the environment must not silently
+        # flip those calls onto the frontier sweep.
+        monkeypatch.setenv("REPRO_LP_FRONTIER", "1")
+        assert resolve_engine(None, default=FULL_ENGINE, chunk=1) == FULL_ENGINE
+        assert resolve_engine(None, default=FULL_ENGINE, chunk=0) == FULL_ENGINE
+
+    def test_throughput_chunk_honours_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LP_FRONTIER", "1")
+        assert resolve_engine(None, default=FULL_ENGINE, chunk=64) == FRONTIER_ENGINE
+        monkeypatch.setenv("REPRO_LP_FRONTIER", "0")
+        assert resolve_engine(None, default=FRONTIER_ENGINE, chunk=64) == FULL_ENGINE
+
+    def test_explicit_wins_even_at_bit_exact_chunk(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LP_FRONTIER", raising=False)
+        assert resolve_engine(FRONTIER_ENGINE, chunk=1) == FRONTIER_ENGINE
+        monkeypatch.setenv("REPRO_LP_FRONTIER", "0")
+        assert resolve_engine(FRONTIER_ENGINE, chunk=1) == FRONTIER_ENGINE
+
 
 class TestHashedKernels:
     def test_tie_hash_is_deterministic_and_spread(self):

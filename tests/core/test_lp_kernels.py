@@ -222,12 +222,15 @@ class TestCappedInflow:
 
 
 class TestSequentialEquivalence:
-    """chunk_size=1 with the full sweep must match the scan label-for-label.
+    """chunk_size=1 must match the scan label-for-label — with no pins.
 
-    The sweep engine is pinned to ``'full'``: these tests assert chunk
-    staleness equivalence, and must hold no matter what
-    ``REPRO_LP_FRONTIER`` says (CI runs the suite in both modes).  The
-    frontier sweep has its own equivalence suite against the full sweep.
+    These tests deliberately pass *no* ``engine=``: at the bit-exact
+    ``chunk_size=1`` the resolver ignores ``REPRO_LP_FRONTIER`` and runs
+    the full sweep, so the equivalence must hold no matter what the
+    environment says (CI runs the suite in both modes;
+    ``test_env_cannot_break_equivalence`` pins both values explicitly).
+    The frontier sweep has its own equivalence suite against the full
+    sweep.
     """
 
     @pytest.mark.parametrize("gname", ["rmat", "grid"])
@@ -240,7 +243,6 @@ class TestSequentialEquivalence:
         )
         b = size_constrained_label_propagation(
             graph, bound, 3, np.random.default_rng(seed), chunk_size=1,
-            engine="full",
         )
         assert np.array_equal(a, b)
 
@@ -255,7 +257,7 @@ class TestSequentialEquivalence:
         )
         b = size_constrained_label_propagation(
             graph, bound, 4, np.random.default_rng(seed), labels=start,
-            ordering="random", refine=True, chunk_size=1, engine="full",
+            ordering="random", refine=True, chunk_size=1,
         )
         assert np.array_equal(a, b)
 
@@ -269,7 +271,28 @@ class TestSequentialEquivalence:
         )
         b = size_constrained_label_propagation(
             graph, bound, 3, np.random.default_rng(5),
-            constraint=constraint, chunk_size=1, engine="full",
+            constraint=constraint, chunk_size=1,
+        )
+        assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize("frontier_env", ["0", "1"])
+    def test_env_cannot_break_equivalence(self, frontier_env, monkeypatch):
+        """Regression: REPRO_LP_FRONTIER must not steer chunk_size=1.
+
+        Before the chunk-aware resolver, ``REPRO_LP_FRONTIER=1`` flipped
+        unpinned ``chunk_size=1`` calls onto the frontier sweep, whose
+        per-iteration scan order differs from the scan engine's — the
+        equivalence suite then failed depending on the environment it
+        happened to run under.
+        """
+        monkeypatch.setenv("REPRO_LP_FRONTIER", frontier_env)
+        graph = rmat(9, seed=1)
+        bound = max(2, int(graph.vwgt.sum()) // 40)
+        a = size_constrained_label_propagation(
+            graph, bound, 3, np.random.default_rng(0), chunk_size=SCAN_ENGINE
+        )
+        b = size_constrained_label_propagation(
+            graph, bound, 3, np.random.default_rng(0), chunk_size=1,
         )
         assert np.array_equal(a, b)
 

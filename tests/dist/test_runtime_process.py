@@ -1,0 +1,239 @@
+"""Tests for the process backend runtime (``run_spmd_processes``).
+
+The contract under test: the process backend is *bit-identical* to the
+thread backend for the same program — same per-rank values, same
+simulated clocks, same :class:`CommStats` — and reproduces the full
+failure surface (sanitizer, deadlock watchdog, rank-attributed errors,
+crashed-worker detection) over real OS processes.  Shared-memory CSR
+segments must be unlinked on every exit path.
+
+All programs live at module level: spawn workers re-import this module,
+so closures or ``__main__``-local functions cannot cross the process
+boundary (that is part of the documented contract).
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.dist import (
+    CollectiveMismatchError,
+    SpmdDeadlockError,
+    run_spmd,
+    run_spmd_processes,
+)
+from repro.dist.runtime import DEFAULT_SPMD_TIMEOUT, _resolve_timeout
+from repro.dist.shm import SHM_PREFIX
+from repro.generators.mesh import grid_2d
+from repro.perf.machine import MACHINE_A, SERIAL
+
+
+def _shm_leaks() -> list[str]:
+    """CSR segments currently visible in /dev/shm (should be none)."""
+    return glob.glob(f"/dev/shm/{SHM_PREFIX}_*")
+
+
+# ---------------------------------------------------------------------------
+# module-level programs (spawn workers must be able to re-import them)
+# ---------------------------------------------------------------------------
+
+def _collective_tour(comm, values):
+    """One pass over the collective surface, charging simulated work."""
+    comm.work(5.0 * (comm.rank + 1))
+    gathered = comm.allgather(values[comm.rank])
+    total = comm.allreduce(np.array([comm.rank + 1, 2], dtype=np.int64))
+    peak = comm.allreduce_max(float(comm.rank))
+    root = comm.bcast(values[0] if comm.rank == 0 else None, root=0)
+    parts = comm.alltoall([np.full(2, comm.rank, dtype=np.int64)
+                           for _ in range(comm.size)])
+    comm.barrier()
+    return (gathered, total.tolist(), peak, root,
+            [p.tolist() for p in parts])
+
+
+def _graph_sum(comm, graph):
+    """Read the shared CSR and agree on a checksum."""
+    local = int(graph.xadj[-1]) + int(graph.adjncy.sum()) + int(graph.vwgt.sum())
+    return comm.allreduce(local)
+
+
+def _graph_crash(comm, graph):
+    if comm.rank == 1:  # repro: noqa[SPMD-DIV] fixture: deliberate crash
+        os._exit(17)
+    comm.barrier()
+    return int(graph.vwgt.sum())
+
+
+def _order_divergence(comm):
+    if comm.rank == 0:  # repro: noqa[SPMD-DIV] fixture: deliberately divergent
+        comm.barrier()
+        comm.allgather(comm.rank)
+    else:
+        comm.allgather(comm.rank)
+        comm.barrier()
+
+
+def _early_return(comm):
+    if comm.rank == 0:  # repro: noqa[SPMD-DIV] fixture: deliberate deadlock
+        return None
+    comm.allgather(comm.rank)
+    return comm.barrier()
+
+
+def _raise_on_rank_2(comm):
+    comm.barrier()
+    if comm.rank == 2:  # repro: noqa[SPMD-DIV] fixture: deliberate failure
+        raise ValueError("rank 2 exploded")
+    return comm.allgather(comm.rank)
+
+
+def _abort_own_barrier(comm):
+    # A program that breaks the barrier *itself* — the resulting
+    # BrokenBarrierError is the first failure, not an echo of one.
+    if comm.rank == 1:  # repro: noqa[SPMD-DIV] fixture: deliberate abort
+        comm.world.barrier.abort()
+    return comm.barrier()
+
+
+VALUES = [10, 20, 30, 40]
+
+
+# ---------------------------------------------------------------------------
+# thread/process parity
+# ---------------------------------------------------------------------------
+
+class TestThreadProcessParity:
+    @pytest.mark.parametrize("size", [1, 4])
+    def test_collectives_bit_identical(self, size):
+        threads = run_spmd(size, _collective_tour, VALUES,
+                           machine=MACHINE_A, seed=7)
+        procs = run_spmd_processes(size, _collective_tour, VALUES,
+                                   machine=MACHINE_A, seed=7)
+        assert procs.per_rank == threads.per_rank
+        assert np.array_equal(procs.sim_times, threads.sim_times)
+        assert procs.sim_time == threads.sim_time
+        assert procs.stats == threads.stats
+
+    def test_serial_machine_parity(self):
+        threads = run_spmd(4, _collective_tour, VALUES, machine=SERIAL)
+        procs = run_spmd_processes(4, _collective_tour, VALUES, machine=SERIAL)
+        assert procs.per_rank == threads.per_rank
+        assert np.array_equal(procs.sim_times, threads.sim_times)
+
+
+# ---------------------------------------------------------------------------
+# shared-memory CSR lifecycle
+# ---------------------------------------------------------------------------
+
+class TestSharedCSR:
+    def test_graph_roundtrip_and_cleanup(self):
+        graph = grid_2d(12, 12)
+        expected = (int(graph.xadj[-1]) + int(graph.adjncy.sum())
+                    + int(graph.vwgt.sum())) * 4
+        result = run_spmd_processes(4, _graph_sum, graph=graph)
+        assert result.value == expected
+        assert result.per_rank == [expected] * 4
+        assert _shm_leaks() == []
+
+    def test_segments_unlinked_after_worker_crash(self):
+        graph = grid_2d(8, 8)
+        with pytest.raises(RuntimeError) as exc:
+            run_spmd_processes(4, _graph_crash, graph=graph, timeout=60)
+        msg = str(exc.value)
+        assert "rank 1" in msg and "exit code 17" in msg
+        assert _shm_leaks() == []
+
+
+# ---------------------------------------------------------------------------
+# failure surface
+# ---------------------------------------------------------------------------
+
+class TestProcessFailures:
+    def test_sanitizer_fires_across_processes(self):
+        with pytest.raises(CollectiveMismatchError) as exc:
+            run_spmd_processes(4, _order_divergence, sanitize=True)
+        assert exc.value.divergent_ranks == (0,)
+        msg = str(exc.value)
+        assert "barrier" in msg and "allgather" in msg
+
+    def test_watchdog_names_stuck_ranks(self):
+        # The budget must cover spawn + import (~2 s here) with margin:
+        # the deadline starts before the workers do.  Rank 0 returns
+        # immediately, so only rank 1 can be stuck once both are up.
+        with pytest.raises(SpmdDeadlockError) as exc:
+            run_spmd_processes(2, _early_return, timeout=12, sanitize=False)
+        assert 1 in exc.value.stuck_ranks
+        assert "rank 1" in str(exc.value)
+
+    def test_error_carries_rank_note(self):
+        with pytest.raises(ValueError, match="rank 2 exploded") as exc:
+            run_spmd_processes(4, _raise_on_rank_2)
+        assert exc.value.__notes__ == ["raised on SPMD rank 2 (process backend)"]
+
+
+class TestThreadRuntimeFailures:
+    """run_spmd's failure-path fixes (same program fixtures, threads)."""
+
+    def test_error_carries_rank_note(self):
+        with pytest.raises(ValueError, match="rank 2 exploded") as exc:
+            run_spmd(4, _raise_on_rank_2)
+        assert exc.value.__notes__ == ["raised on SPMD rank 2"]
+
+    def test_echo_broken_barriers_are_swallowed(self):
+        # Ranks 0/1/3 see BrokenBarrierError only because rank 2 failed;
+        # the original failure must win, not the echo.
+        with pytest.raises(ValueError, match="rank 2 exploded"):
+            run_spmd(4, _raise_on_rank_2)
+
+    def test_program_aborting_its_own_barrier_is_a_real_failure(self):
+        # No other rank recorded an error, so the BrokenBarrierError is
+        # itself the first failure — it must propagate with a rank note,
+        # not be swallowed as an echo.
+        import threading
+
+        with pytest.raises(threading.BrokenBarrierError) as exc:
+            run_spmd(2, _abort_own_barrier, sanitize=False)
+        notes = getattr(exc.value, "__notes__", [])
+        assert len(notes) == 1
+        assert notes[0].startswith("raised on SPMD rank ")
+
+
+# ---------------------------------------------------------------------------
+# REPRO_SPMD_TIMEOUT resolution
+# ---------------------------------------------------------------------------
+
+class TestResolveTimeout:
+    def test_explicit_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SPMD_TIMEOUT", "5")
+        assert _resolve_timeout(12.0) == 12.0
+
+    def test_env_number(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SPMD_TIMEOUT", "42.5")
+        assert _resolve_timeout(None) == 42.5
+
+    def test_zero_disables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SPMD_TIMEOUT", "0")
+        assert _resolve_timeout(None) is None
+        assert _resolve_timeout(-3.0) is None
+
+    def test_malformed_env_warns_and_defaults(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SPMD_TIMEOUT", "60s")
+        with pytest.warns(RuntimeWarning, match=r"malformed REPRO_SPMD_TIMEOUT='60s'"):
+            assert _resolve_timeout(None) == DEFAULT_SPMD_TIMEOUT
+
+    def test_empty_env_counts_as_unset(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SPMD_TIMEOUT", "")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # any warning fails the test
+            assert _resolve_timeout(None) == DEFAULT_SPMD_TIMEOUT
+
+    def test_whitespace_env_counts_as_unset(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SPMD_TIMEOUT", "   ")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert _resolve_timeout(None) == DEFAULT_SPMD_TIMEOUT

@@ -1,11 +1,16 @@
-"""Cross-backend equivalence: LocalBackend vs SpmdBackend at p = 1.
+"""Cross-backend equivalence: Local vs Spmd vs Process backends.
 
 The engine contract is that the SPMD hooks degenerate to the local ones
-on a single PE.  These tests pin every stochastic input (tie seed and
-visit-order rng) on both sides and assert *bit-identical* labels per LP
-iteration across the engine grid (scan, chunk=1, chunked full, chunked
-frontier), then iterate the refinement loop for the fast/eco iteration
-budgets and assert identical final labels and edge cuts.
+on a single PE, and that the process backend is bit-identical to the
+thread backend at any PE count.  These tests pin every stochastic input
+(tie seed and visit-order rng) on both sides and assert *bit-identical*
+labels per LP iteration across the engine grid (scan, chunk=1, chunked
+full, chunked frontier), then iterate the refinement loop for the
+fast/eco iteration budgets and assert identical final labels and edge
+cuts.  The p = 1 identity grid runs under both SPMD runtimes, so
+``Local == Spmd == Process`` is pinned on the same fixtures; the
+spawn-based p = 4 runs additionally check the shared-memory CSR path
+(including segment cleanup on clean exit and on worker crash).
 
 One asymmetry is deliberate and documented here rather than papered
 over: the distributed driver's convergence test counts changed
@@ -22,6 +27,8 @@ not), so the refine comparisons run the local backend with
 
 from __future__ import annotations
 
+import glob
+import os
 from functools import lru_cache
 
 import numpy as np
@@ -29,15 +36,24 @@ import pytest
 
 from repro.core import eco_config, fast_config
 from repro.dist.dgraph import DistGraph, balanced_vtxdist
-from repro.dist.runtime import run_spmd
-from repro.engine import LocalBackend, SpmdBackend, run_sclp
+from repro.dist.dist_lp import parallel_label_propagation
+from repro.dist.runtime import run_spmd, run_spmd_processes
+from repro.dist.shm import SHM_PREFIX
+from repro.engine import LocalBackend, make_dist_backend, run_sclp
 from repro.generators import barabasi_albert, rgg, rmat
 from repro.graph.validation import max_block_weight_bound
 from repro.metrics.quality import edge_cut
 
 GRAPH_NAMES = ("rmat9", "ba9", "rgg9")
 ENGINE_GRID = [(0, "full"), (1, "full"), (64, "full"), (64, "frontier")]
+#: both SPMD runtimes; at p = 1 each uses its in-process fast path, so
+#: the closure-based pinned programs below work under either.
+RUNNERS = [run_spmd, run_spmd_processes]
 K = 4
+
+
+def _shm_leaks() -> list[str]:
+    return glob.glob(f"/dev/shm/{SHM_PREFIX}_*")
 
 
 @lru_cache(maxsize=None)
@@ -50,13 +66,19 @@ def make_graph(name):
 
 
 def spmd_sclp(graph, labels, bound, *, refine, k, ordering, chunk, engine,
-              tie_seed, order_seed, rounds=1):
-    """Run ``rounds`` single-iteration SCLP calls on SpmdBackend at p = 1."""
+              tie_seed, order_seed, rounds=1, runner=run_spmd):
+    """Run ``rounds`` single-iteration SCLP calls on a dist backend at p = 1.
+
+    ``runner`` picks the runtime: :func:`run_spmd` drives
+    ``SpmdBackend``, :func:`run_spmd_processes` drives
+    ``ProcessBackend`` (``make_dist_backend`` keys the backend class on
+    the communicator type).
+    """
 
     def program(comm):
         vtxdist = balanced_vtxdist(graph.num_nodes, comm.size)
         dg = DistGraph.from_global(graph, vtxdist, comm.rank)
-        backend = SpmdBackend(dg, comm)
+        backend = make_dist_backend(dg, comm)
         out = np.asarray(labels, dtype=np.int64).copy()
         for r in range(rounds):
             # Pin the visit-order stream identically to the local side.
@@ -68,7 +90,7 @@ def spmd_sclp(graph, labels, bound, *, refine, k, ordering, chunk, engine,
             )
         return out[: dg.n_local]
 
-    return run_spmd(1, program, seed=0).value
+    return runner(1, program, seed=0).value
 
 
 def local_sclp(graph, labels, bound, *, refine, shares, k, ordering, chunk,
@@ -84,9 +106,10 @@ def local_sclp(graph, labels, bound, *, refine, shares, k, ordering, chunk,
     return out
 
 
+@pytest.mark.parametrize("runner", RUNNERS)
 @pytest.mark.parametrize("chunk,engine", ENGINE_GRID)
 @pytest.mark.parametrize("gname", GRAPH_NAMES)
-def test_cluster_iteration_identity(gname, chunk, engine):
+def test_cluster_iteration_identity(gname, chunk, engine, runner):
     g = make_graph(gname)
     lmax = max_block_weight_bound(g, K, 0.03)
     bound = max(2, lmax // 10)
@@ -94,26 +117,28 @@ def test_cluster_iteration_identity(gname, chunk, engine):
     kw = dict(refine=False, k=None, ordering="degree", chunk=chunk,
               engine=engine, tie_seed=90, order_seed=700)
     local = local_sclp(g, start, bound, shares=False, **kw)
-    spmd = spmd_sclp(g, start, bound, **kw)
+    spmd = spmd_sclp(g, start, bound, runner=runner, **kw)
     assert np.array_equal(local, spmd)
 
 
+@pytest.mark.parametrize("runner", RUNNERS)
 @pytest.mark.parametrize("chunk,engine", ENGINE_GRID)
 @pytest.mark.parametrize("gname", GRAPH_NAMES)
-def test_refine_iteration_identity(gname, chunk, engine):
+def test_refine_iteration_identity(gname, chunk, engine, runner):
     g = make_graph(gname)
     lmax = max_block_weight_bound(g, K, 0.03)
     start = np.random.default_rng(42).integers(0, K, size=g.num_nodes)
     kw = dict(refine=True, k=K, ordering="random", chunk=chunk,
               engine=engine, tie_seed=91, order_seed=701)
     local = local_sclp(g, start, lmax, shares=True, **kw)
-    spmd = spmd_sclp(g, start, lmax, **kw)
+    spmd = spmd_sclp(g, start, lmax, runner=runner, **kw)
     assert np.array_equal(local, spmd)
 
 
+@pytest.mark.parametrize("runner", RUNNERS)
 @pytest.mark.parametrize("cname,config", [("fast", fast_config), ("eco", eco_config)])
 @pytest.mark.parametrize("gname", GRAPH_NAMES)
-def test_refinement_final_cut_identity(gname, cname, config):
+def test_refinement_final_cut_identity(gname, cname, config, runner):
     """Iterated refinement (fast/eco budgets): identical labels and cuts."""
     g = make_graph(gname)
     rounds = config(k=K).refinement_iterations
@@ -122,9 +147,86 @@ def test_refinement_final_cut_identity(gname, cname, config):
     kw = dict(refine=True, k=K, ordering="random", chunk=64,
               engine="full", tie_seed=92, order_seed=702, rounds=rounds)
     local = local_sclp(g, start, lmax, shares=True, **kw)
-    spmd = spmd_sclp(g, start, lmax, **kw)
+    spmd = spmd_sclp(g, start, lmax, runner=runner, **kw)
     assert np.array_equal(local, spmd)
     assert edge_cut(g, local) == edge_cut(g, spmd)
     # The refinement actually did something on these instances, so the
     # cut identity is not vacuous.
     assert edge_cut(g, local) < edge_cut(g, start)
+
+
+# ---------------------------------------------------------------------------
+# process backend over real workers (spawn + shared-memory CSR)
+# ---------------------------------------------------------------------------
+
+def _plp_iterations(comm, graph, mode, k, bound, chunk, engine, iters):
+    """Spawn-safe program: per-iteration global label snapshots.
+
+    Module-level on purpose — spawn workers re-import this module, so
+    the program must be picklable by reference.
+    """
+    vtxdist = balanced_vtxdist(graph.num_nodes, comm.size)
+    dgraph = DistGraph.from_global(graph, vtxdist, comm.rank)
+    gids = dgraph.to_global(np.arange(dgraph.n_total))
+    labels = gids.copy() if mode == "cluster" else gids % k
+    snapshots = []
+    for _ in range(iters):
+        labels = parallel_label_propagation(
+            dgraph, comm, labels, bound, 1, mode=mode,
+            k=None if mode == "cluster" else k,
+            chunk_size=chunk, engine=engine,
+        )
+        snapshots.append(dgraph.gather_global(comm, labels).tolist())
+    return snapshots
+
+
+def _plp_crash(comm, graph, mode, k, bound, chunk, engine, iters):
+    if comm.rank == 1:  # repro: noqa[SPMD-DIV] fixture: deliberate crash
+        os._exit(21)
+    return _plp_iterations(comm, graph, mode, k, bound, chunk, engine, iters)
+
+
+@pytest.mark.parametrize("size", [1, 4])
+@pytest.mark.parametrize("chunk,engine", [(1, "full"), (64, "frontier")])
+@pytest.mark.parametrize("mode", ["cluster", "refine"])
+def test_process_matches_threads_per_iteration(size, mode, chunk, engine):
+    """Process == Spmd per-iteration labels, clocks, and stats at p=1/p=4.
+
+    Together with the p = 1 Local == Spmd/Process grid above this pins
+    the full ``Local == Spmd == Process`` chain on shared fixtures.  The
+    p = 4 leg exercises the real spawn + shared-memory CSR path; the
+    leak check pins segment unlinking on clean exit.
+    """
+    g = make_graph("rmat9")
+    lmax = max_block_weight_bound(g, K, 0.03)
+    bound = lmax if mode == "refine" else max(2, lmax // 10)
+    prog_args = (mode, K, bound, chunk, engine, 3)
+    threads = run_spmd(size, _plp_iterations, g, *prog_args, seed=5)
+    procs = run_spmd_processes(size, _plp_iterations, *prog_args,
+                               graph=g, seed=5)
+    assert procs.per_rank == threads.per_rank
+    assert np.array_equal(procs.sim_times, threads.sim_times)
+    assert procs.stats == threads.stats
+    assert _shm_leaks() == []
+
+
+def test_process_shm_unlinked_after_worker_crash():
+    g = make_graph("rmat9")
+    lmax = max_block_weight_bound(g, K, 0.03)
+    with pytest.raises(RuntimeError, match=r"rank 1 \(exit code 21\)"):
+        run_spmd_processes(4, _plp_crash, "cluster", K, max(2, lmax // 10),
+                           64, "frontier", 2, graph=g, seed=5, timeout=60)
+    assert _shm_leaks() == []
+
+
+def test_parallel_partition_backend_identity():
+    """The full pipeline: backend='process' == backend='spmd' bit-for-bit."""
+    from repro.dist.dist_partitioner import parallel_partition
+
+    g = make_graph("rgg9")
+    config = fast_config(k=K)
+    spmd = parallel_partition(g, config, num_pes=4, seed=11, backend="spmd")
+    proc = parallel_partition(g, config, num_pes=4, seed=11, backend="process")
+    assert np.array_equal(spmd.partition, proc.partition)
+    assert spmd.sim_time == proc.sim_time
+    assert _shm_leaks() == []
