@@ -408,10 +408,32 @@ def main(argv: list[str] | None = None) -> int:
 
     if baseline is not None:
         ref_metrics = baseline.get("metrics", {})
+        # Wall-clock "speedups" of the process backend on a single-core
+        # host measure queue/scheduling overhead, not parallelism — the
+        # recorded proc_lp_wall_speedup_p4 = 0.2x caveat.  When either
+        # side of the comparison ran on one core, gating on those rows
+        # would fail (or pass) for reasons unrelated to the code.
+        cores_now = report["meta"].get("cpu_cores")
+        cores_then = baseline.get("meta", {}).get("cpu_cores")
+        skip_proc_rows = cores_now == 1 or cores_then == 1
+        if skip_proc_rows:
+            skipped = sorted(
+                key for key in ref_metrics
+                if key.startswith("proc_lp_") and key in report["metrics"]
+            )
+            if skipped:
+                print(
+                    "skipping process-backend wall-speedup gate for "
+                    + ", ".join(skipped)
+                    + f": recorded cpu_cores == 1 (baseline {cores_then}, "
+                    f"current {cores_now}); single-core wall ratios measure "
+                    "queue overhead, not parallel speedup"
+                )
         regressed = [
             key
             for key, ref in ref_metrics.items()
             if key in report["metrics"] and report["metrics"][key] < ref / 2
+            and not (skip_proc_rows and key.startswith("proc_lp_"))
         ]
         if regressed:
             print("REGRESSION (>2x below committed baseline): "

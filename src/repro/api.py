@@ -18,6 +18,7 @@ from .engine.backend import resolve_backend
 from .graph.csr import Graph
 from .graph.validation import check_partition
 from .metrics.quality import PartitionQuality
+from .obsv.tracer import TRACER
 from .perf.machine import Machine
 
 __all__ = ["PartitionResult", "partition_graph"]
@@ -108,4 +109,12 @@ def partition_graph(
         )
     if graph.num_nodes:
         check_partition(graph, out.partition, config.k, epsilon=None)
+    if TRACER.enabled:
+        # Final quality gauges feed the run.json quality block; the
+        # sequential path also stamps backend/p (parallel runs are
+        # annotated by the SPMD runtime itself).
+        if out.num_pes == 1:
+            TRACER.annotate_header(backend="local", p=1)
+        TRACER.metrics.gauge("partition.cut").set(float(out.quality.cut))
+        TRACER.metrics.gauge("partition.imbalance").set(float(out.quality.imbalance))
     return out

@@ -6,6 +6,7 @@ Mirrors the ergonomics of the real tools (``parhip``, ``kaffpa``)::
     python -m repro partition graph.metis -k 8 --num-pes 4 --trace out.json
     python -m repro trace out.json partition graph.metis -k 8 --num-pes 4
     python -m repro report out.events.jsonl
+    python -m repro analyze out.events.jsonl --compare baseline.run.json
     python -m repro generate rgg --exponent 12 -o rgg12.metis
     python -m repro evaluate graph.metis graph.part -k 8
     python -m repro cluster graph.metis -o clusters.txt
@@ -188,7 +189,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     if not rest:
         print("trace: missing command to run under the tracer", file=sys.stderr)
         return 2
-    if rest[0] in ("trace", "report"):
+    if rest[0] in ("trace", "report", "analyze"):
         print(f"trace: cannot trace the {rest[0]!r} command", file=sys.stderr)
         return 2
     TRACER.enable()
@@ -204,6 +205,53 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from .obsv import read_jsonl, render_report
 
     print(render_report(read_jsonl(args.events)))
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    import json
+
+    from .obsv import (
+        compare_run_summaries,
+        read_jsonl,
+        render_analysis,
+        validate_run_summary,
+        write_run_summary,
+    )
+
+    records = read_jsonl(args.events)
+    print(render_analysis(records))
+    out = args.output
+    if out is None:
+        events = Path(args.events)
+        out = str(events.with_name((events.name.removesuffix(".events.jsonl")
+                                    or events.stem) + ".run.json"))
+    try:
+        summary = write_run_summary(out, records)
+    except ValueError as exc:
+        print(f"analyze: {exc}", file=sys.stderr)
+        return 1
+    print(f"\nrun summary written to {out}")
+    if args.compare:
+        with open(args.compare, "r", encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        errors = validate_run_summary(baseline)
+        if errors:
+            print(f"analyze: baseline {args.compare} is not a valid run "
+                  "summary: " + "; ".join(errors), file=sys.stderr)
+            return 1
+        problems = compare_run_summaries(
+            summary, baseline,
+            quality_tolerance=args.quality_tolerance,
+            time_tolerance=args.time_tolerance,
+            rss_tolerance=args.rss_tolerance,
+        )
+        if problems:
+            print(f"\nREGRESSIONS vs {args.compare}:")
+            for problem in problems:
+                print(f"  {problem}")
+            return 1
+        print(f"no regressions vs {args.compare}")
     return 0
 
 
@@ -281,6 +329,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     r.add_argument("events", help="JSONL event stream (the .events.jsonl file)")
     r.set_defaults(func=_cmd_report)
+
+    a = sub.add_parser(
+        "analyze",
+        help="trace analytics: critical path, straggler blame, comm matrix, "
+             "memory; writes a machine-readable run.json",
+    )
+    a.add_argument("events", help="JSONL event stream (the .events.jsonl file)")
+    a.add_argument("-o", "--output", default=None,
+                   help="run-summary JSON path (default: <events>.run.json "
+                        "next to the event stream)")
+    a.add_argument("--compare", default=None, metavar="BASELINE.json",
+                   help="diff against a previous run summary; exits nonzero "
+                        "on quality/time/memory regressions")
+    a.add_argument("--quality-tolerance", type=float, default=0.05,
+                   help="fractional cut/imbalance regression tolerance "
+                        "(default 0.05)")
+    a.add_argument("--time-tolerance", type=float, default=0.5,
+                   help="fractional wall-time regression tolerance "
+                        "(default 0.5; wall clocks are host-noisy)")
+    a.add_argument("--rss-tolerance", type=float, default=0.5,
+                   help="fractional peak-RSS regression tolerance (default 0.5)")
+    a.set_defaults(func=_cmd_analyze)
 
     i = sub.add_parser("instances", help="list the Table I instance registry")
     i.set_defaults(func=_cmd_instances)

@@ -416,15 +416,22 @@ class CollectiveOps:
             lambda vals: sum(payload_bytes(row[self.rank]) for row in vals),
             op=op,
         )
+        sent_to = [payload_bytes(p) for p in per_destination]
         self.stats.messages_sent += sum(
-            1 for dest, payload in enumerate(per_destination)
-            if dest != self.rank and payload_bytes(payload) > 0
+            1 for dest, nbytes in enumerate(sent_to)
+            if dest != self.rank and nbytes > 0
         )
         sent_bytes = sum(
-            payload_bytes(p) for d, p in enumerate(per_destination) if d != self.rank
+            nbytes for dest, nbytes in enumerate(sent_to) if dest != self.rank
         )
         self.stats.bytes_sent += sent_bytes
         self.stats.record_op(op, nbytes=sent_bytes)
+        if TRACER.enabled:
+            # Per-destination sent bytes feed the p×p comm matrix built by
+            # repro analyze; the diagonal (self-destined payloads) is kept
+            # visible but excluded from the bytes_sent aggregate above.
+            TRACER.event("comm.sent", rank=self.rank, op=op,
+                         seq=self.stats.collectives, sent=sent_to)
         return [rows[src][self.rank] for src in range(self.size)]
 
     # ------------------------------------------------------------------

@@ -31,6 +31,7 @@ import numpy as np
 
 from ..obsv.tracer import TRACER
 from ..perf.machine import Machine
+from ..perf.rss import memory_sample
 from .comm import CommStats, World
 from .proc_comm import ProcComm, ProcWorld, _Aborted, make_proc_world
 from .shm import SharedCSR, SharedCSRHandle, attach_graph
@@ -45,6 +46,21 @@ __all__ = [
 
 #: default wall-clock watchdog for one SPMD execution, in seconds
 DEFAULT_SPMD_TIMEOUT = 60.0
+
+
+def _emit_rank_memory(size: int, *, shared: bool) -> None:
+    """One ``mem.rank`` event per rank with this process's RSS sample.
+
+    On the thread backend every simulated PE lives in one OS process, so
+    the per-rank numbers are the same sample flagged ``shared=True``; the
+    process backend emits real per-worker samples from
+    :func:`_proc_worker` instead.
+    """
+    if not TRACER.enabled:
+        return
+    sample = memory_sample()
+    for rank in range(size):
+        TRACER.event("mem.rank", rank=rank, shared=shared, **sample)
 
 
 class SpmdDeadlockError(RuntimeError):
@@ -133,10 +149,12 @@ def run_spmd(
     (``None`` defers to ``REPRO_SPMD_TIMEOUT``, then 60 s; <= 0 disables).
     """
     world = World(size, machine=machine, seed=seed, sanitize=sanitize)
+    TRACER.annotate_header(backend="spmd", p=size)
 
     if size == 1:
         # Fast path: no threads needed; barriers over one rank are no-ops.
         result = program(world.comm(0), *args, **kwargs)
+        _emit_rank_memory(size, shared=True)
         return SpmdResult([result], float(world.sim_time.max()), world.sim_time.copy(),
                           world.stats)
 
@@ -217,6 +235,7 @@ def run_spmd(
         first.add_note(f"raised on SPMD rank {rank}")
         raise first from None
 
+    _emit_rank_memory(size, shared=True)
     return SpmdResult(results, float(world.sim_time.max()), world.sim_time.copy(), world.stats)
 
 
@@ -269,6 +288,11 @@ def _proc_worker(spec: _WorkerSpec) -> None:
         spec.world.abort.set()  # unblock the sibling ranks
     sim_time = comm.sim_time if comm is not None else 0.0
     stats = comm.stats if comm is not None else CommStats()
+    if spec.trace:
+        # Real per-worker memory: each rank is its own OS process, so this
+        # VmHWM/VmRSS sample is exactly this rank's footprint.  The event
+        # rides the worker's record buffer through Tracer.absorb.
+        TRACER.event("mem.rank", rank=spec.rank, shared=False, **memory_sample())
     records = TRACER.snapshot() if spec.trace else []
     payload = (status, result, sim_time, stats, records)
     try:
@@ -327,12 +351,14 @@ def run_spmd_processes(
     wall_budget = _resolve_timeout(timeout)
     ctx = multiprocessing.get_context("spawn")
     world = make_proc_world(ctx, size, machine, seed, sanitize)
+    TRACER.annotate_header(backend="process", p=size)
 
     if size == 1:
         # Fast path: one rank needs no processes (and no shm round trip).
         comm = ProcComm(world, 0)
         call_args = args if graph is None else (graph, *args)
         result = program(comm, *call_args, **kwargs)
+        _emit_rank_memory(size, shared=False)
         return SpmdResult([result], comm.sim_time,
                           np.array([comm.sim_time]), [comm.stats])
 

@@ -54,6 +54,7 @@ from .kernels import (
     plan_chunk,
 )
 from ..obsv.tracer import TRACER
+from ..perf.rss import current_rss_bytes
 from .backend import ExecutionBackend
 
 __all__ = ["run_sclp"]
@@ -391,6 +392,7 @@ def _chunked_phases(
                     global_changed=global_changed, active=scanned,
                     frontier_frac=round(scanned / max(1, order.size), 4))
         if TRACER.enabled:
+            lp_span.set(rss_bytes=current_rss_bytes())
             TRACER.metrics.counter("lp.iterations").inc()
             TRACER.metrics.counter("lp.moved_nodes").inc(moved)
         lp_span.__exit__(None, None, None)
@@ -619,6 +621,7 @@ def _scan_phases(
         global_changed = backend.global_changed(moved, len(changed))
         lp_span.set(moved=moved, arcs=arcs_scanned, global_changed=global_changed)
         if TRACER.enabled:
+            lp_span.set(rss_bytes=current_rss_bytes())
             TRACER.metrics.counter("lp.iterations").inc()
             TRACER.metrics.counter("lp.moved_nodes").inc(moved)
         lp_span.__exit__(None, None, None)

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Protocol
 
 from ..obsv.tracer import _NOOP_SPAN, TRACER
+from ..perf.rss import memory_probe
 
 __all__ = ["VcycleBackend", "VcycleResult", "run_coarsening", "run_vcycle"]
 
@@ -173,16 +174,24 @@ def run_vcycle(
     """
     phase_times: dict[str, float] = {}
 
+    # Phase-boundary memory telemetry (tracing-only, uniform across
+    # ranks: TRACER.enabled is process-global, so the probe never
+    # diverges the collective schedule).
+    traced = top and TRACER.enabled
+
     t0 = backend.clock()
     coarsen_span = (
         TRACER.span("coarsening", **backend.span_kwargs(), cycle=cycle)
         if top else _NOOP_SPAN
     )
     coarsen_span.__enter__()
+    mem = memory_probe() if traced else None
     levels, coarse_sizes = run_coarsening(
         backend, config, max_cluster_weight, lmax, cycle=cycle, top=top
     )
     coarsen_span.set(levels=len(levels))
+    if mem is not None:
+        coarsen_span.set(**mem())
     coarsen_span.__exit__(None, None, None)
     phase_times["coarsening"] = backend.clock() - t0
 
@@ -192,11 +201,14 @@ def run_vcycle(
         if top else _NOOP_SPAN
     )
     init_span.__enter__()
+    mem = memory_probe() if traced else None
     partition = backend.initial_partition()
     init_stats: tuple[int, int] | None = None
     if top and TRACER.enabled:
         init_stats = backend.initial_stats(partition)
         init_span.set(nodes=init_stats[0], cut=init_stats[1])
+    if mem is not None:
+        init_span.set(**mem())
     init_span.__exit__(None, None, None)
     phase_times["initial"] = backend.clock() - t0
 
@@ -206,6 +218,7 @@ def run_vcycle(
         if top else _NOOP_SPAN
     )
     refine_span.__enter__()
+    mem = memory_probe() if traced else None
     partition = backend.coarsest_refine(partition)
     if top and TRACER.enabled and init_stats is not None and backend.emits_events:
         TRACER.event(
@@ -241,6 +254,8 @@ def run_vcycle(
                 TRACER.metrics.gauge("partition.cut").set(cut_refined)
         level_span.__exit__(None, None, None)
         backend.release_level()
+    if mem is not None:
+        refine_span.set(**mem())
     refine_span.__exit__(None, None, None)
     phase_times["refinement"] = backend.clock() - t0
 

@@ -45,8 +45,11 @@ def write_jsonl(path: str | Path, source: Tracer | Iterable[dict[str, Any]] = TR
                 metrics: dict | None = None) -> Path:
     """Write one trace session as JSONL; returns the path written."""
     records = _records_of(source)
-    if metrics is None and isinstance(source, Tracer):
-        metrics = source.metrics.snapshot()
+    header = None
+    if isinstance(source, Tracer):
+        if metrics is None:
+            metrics = source.metrics.snapshot()
+        header = source.header
     path = Path(path)
     with path.open("w", encoding="utf-8") as fh:
         fh.write(json.dumps({
@@ -55,6 +58,8 @@ def write_jsonl(path: str | Path, source: Tracer | Iterable[dict[str, Any]] = TR
             "records": len(records),
             "clock_units": {"wall": "seconds", "sim": "seconds"},
         }) + "\n")
+        if header is not None:
+            fh.write(json.dumps(header) + "\n")
         for record in records:
             fh.write(json.dumps(record) + "\n")
         if metrics is not None:

@@ -50,15 +50,26 @@ class Gauge:
             self.value = float(value)
 
 
-class Histogram:
-    """Streaming summary of observations (count / sum / min / max / mean).
+#: number of power-of-two buckets per histogram (constant memory)
+_HIST_BUCKETS = 64
+#: bucket i covers values in [2**(i + _HIST_EXP_LO - 1), 2**(i + _HIST_EXP_LO));
+#: with -32 the span is ~[2**-33, 2**31] — microseconds to gigabytes.
+_HIST_EXP_LO = -32
 
-    No buckets: the trace events already carry every raw sample, so the
-    histogram only needs to answer cheap aggregate questions without
-    replaying the event stream.
+
+class Histogram:
+    """Streaming summary of observations with bounded log buckets.
+
+    Alongside count / sum / min / max / mean, each observation lands in
+    one of :data:`_HIST_BUCKETS` power-of-two buckets (constant memory,
+    one ``frexp`` per observe), so ``snapshot()`` can report approximate
+    p50/p99 — within one octave, then clamped to the exact observed
+    [min, max] — without replaying the raw event stream.  That is the
+    contract the repartitioning-service latency bench needs: quantiles
+    of millions of update latencies at O(1) space.
     """
 
-    __slots__ = ("_lock", "count", "total", "min", "max")
+    __slots__ = ("_lock", "count", "total", "min", "max", "_buckets")
 
     def __init__(self, lock: threading.Lock) -> None:
         self._lock = lock
@@ -66,6 +77,18 @@ class Histogram:
         self.total = 0.0
         self.min = math.inf
         self.max = -math.inf
+        self._buckets = [0] * _HIST_BUCKETS
+
+    def _bucket_index(self, value: float) -> int:
+        if value <= 0 or value != value:  # non-positive and NaN pool in bucket 0
+            return 0
+        exponent = math.frexp(value)[1]  # value = m * 2**exponent, m in [0.5, 1)
+        index = exponent - _HIST_EXP_LO
+        if index < 0:
+            return 0
+        if index >= _HIST_BUCKETS:
+            return _HIST_BUCKETS - 1
+        return index
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -76,10 +99,39 @@ class Histogram:
                 self.min = value
             if value > self.max:
                 self.max = value
+            self._buckets[self._bucket_index(value)] += 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def _quantile_locked(self, q: float) -> float | None:
+        """Quantile walk; caller must hold the shared registry lock."""
+        if not self.count:
+            return None
+        target = q * self.count
+        cumulative = 0
+        for index, in_bucket in enumerate(self._buckets):
+            cumulative += in_bucket
+            if in_bucket and cumulative >= target:
+                if index == 0:  # sub-range/non-positive pool: no midpoint
+                    return self.min
+                lo = 2.0 ** (index + _HIST_EXP_LO - 1)
+                hi = 2.0 ** (index + _HIST_EXP_LO)
+                estimate = math.sqrt(lo * hi)
+                return min(max(estimate, self.min), self.max)
+        return self.max
+
+    def quantile(self, q: float) -> float | None:
+        """Approximate q-quantile from the log buckets (None when empty).
+
+        Walks the cumulative bucket counts to the bucket holding the
+        q-th observation and returns its geometric midpoint, clamped to
+        the exact observed range — so single-sample and single-bucket
+        histograms answer exactly.
+        """
+        with self._lock:
+            return self._quantile_locked(q)
 
 
 class MetricsRegistry:
@@ -126,6 +178,8 @@ class MetricsRegistry:
                         "min": h.min if h.count else None,
                         "max": h.max if h.count else None,
                         "mean": h.mean,
+                        "p50": h._quantile_locked(0.5),
+                        "p99": h._quantile_locked(0.99),
                     }
                     for k, h in sorted(self._histograms.items())
                 },

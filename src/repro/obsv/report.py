@@ -21,10 +21,15 @@ from collections import defaultdict
 from typing import Any, Iterable
 
 __all__ = [
+    "header_summary",
     "load_imbalance_table",
     "per_level_table",
     "per_phase_table",
+    "phase_times",
+    "rank_load",
     "render_report",
+    "single_core_caveat",
+    "trace_header",
 ]
 
 #: span names of the pipeline phases (parallel and sequential emit these)
@@ -131,29 +136,45 @@ def per_level_table(records: Iterable[dict]) -> str:
     return "\n\n".join(blocks)
 
 
-def per_phase_table(records: Iterable[dict]) -> str:
-    """Simulated/wall seconds per pipeline phase, summed over cycles."""
-    records = list(records)
+def phase_times(records: Iterable[dict]) -> dict[str, dict[str, float | None]]:
+    """Per-phase times: ``{phase: {"sim": max-over-ranks, "wall": rank-0}}``.
+
+    Sim seconds are summed over cycles per rank, then maxed over ranks
+    (the parallel makespan of that phase); wall seconds are the rank-0 /
+    rank-less sums so the thread backend's GIL interleaving is not
+    double-counted.  Phases absent from the trace map to ``None``.
+    """
     sim_by_phase_rank: dict[str, dict[int, float]] = defaultdict(lambda: defaultdict(float))
     wall_by_phase: dict[str, float] = defaultdict(float)
-    seen = False
     for span in _spans(records):
         if span["name"] not in PHASES:
             continue
-        seen = True
         rank = span.get("rank")
         if span.get("sim_dur") is not None and rank is not None:
             sim_by_phase_rank[span["name"]][rank] += float(span["sim_dur"])
         if rank is None or rank == 0:
             wall_by_phase[span["name"]] += float(span.get("wall_dur") or 0.0)
-    if not seen:
-        return "per-phase table: no phase spans in this trace"
-
-    total_sim = sum(max(r.values()) for r in sim_by_phase_rank.values()) or None
-    rows = []
+    out: dict[str, dict[str, float | None]] = {}
     for phase in PHASES:
         ranks = sim_by_phase_rank.get(phase)
-        sim = max(ranks.values()) if ranks else None
+        out[phase] = {
+            "sim": max(ranks.values()) if ranks else None,
+            "wall": wall_by_phase.get(phase),
+        }
+    return out
+
+
+def per_phase_table(records: Iterable[dict]) -> str:
+    """Simulated/wall seconds per pipeline phase, summed over cycles."""
+    records = list(records)
+    times = phase_times(records)
+    if all(v["sim"] is None and v["wall"] is None for v in times.values()):
+        return "per-phase table: no phase spans in this trace"
+
+    total_sim = sum(v["sim"] for v in times.values() if v["sim"] is not None) or None
+    rows = []
+    for phase in PHASES:
+        sim = times[phase]["sim"]
         share = (
             f"{100.0 * sim / total_sim:.1f}%"
             if sim is not None and total_sim
@@ -163,7 +184,7 @@ def per_phase_table(records: Iterable[dict]) -> str:
             phase,
             _fmt(sim, "{:.6f}"),
             share,
-            _fmt(wall_by_phase.get(phase), "{:.3f}"),
+            _fmt(times[phase]["wall"], "{:.3f}"),
         ])
     return _format_table(
         "per-phase time (sim = max over ranks, seconds)",
@@ -172,9 +193,8 @@ def per_phase_table(records: Iterable[dict]) -> str:
     )
 
 
-def load_imbalance_table(records: Iterable[dict]) -> str:
-    """Per-rank LP moves and collective traffic, with max/mean imbalance."""
-    records = list(records)
+def rank_load(records: Iterable[dict]) -> dict[int, dict[str, int]]:
+    """Per-rank load: ``{rank: {"moves", "collectives", "recv_bytes"}}``."""
     moves: dict[int, int] = defaultdict(int)
     colls: dict[int, int] = defaultdict(int)
     recv_bytes: dict[int, int] = defaultdict(int)
@@ -188,30 +208,94 @@ def load_imbalance_table(records: Iterable[dict]) -> str:
         elif span["name"].startswith("comm."):
             colls[rank] += 1
             recv_bytes[rank] += int(attrs.get("bytes") or 0)
-    ranks = sorted(set(moves) | set(colls) | set(recv_bytes))
-    if not ranks:
+    return {
+        r: {
+            "moves": moves.get(r, 0),
+            "collectives": colls.get(r, 0),
+            "recv_bytes": recv_bytes.get(r, 0),
+        }
+        for r in sorted(set(moves) | set(colls) | set(recv_bytes))
+    }
+
+
+def load_imbalance_table(records: Iterable[dict]) -> str:
+    """Per-rank LP moves and collective traffic, with max/mean imbalance."""
+    load = rank_load(list(records))
+    if not load:
         return "load table: no rank-attributed spans in this trace"
     rows = [
-        [str(r), f"{moves.get(r, 0):,}", f"{colls.get(r, 0):,}",
-         f"{recv_bytes.get(r, 0):,}"]
-        for r in ranks
+        [str(r), f"{row['moves']:,}", f"{row['collectives']:,}",
+         f"{row['recv_bytes']:,}"]
+        for r, row in load.items()
     ]
     table = _format_table(
         "per-rank load",
         ["rank", "lp moves", "collectives", "recv bytes"],
         rows,
     )
-    move_values = [moves.get(r, 0) for r in ranks]
+    move_values = [row["moves"] for row in load.values()]
     mean = sum(move_values) / len(move_values)
     if mean > 0:
         table += f"\nLP move imbalance (max/mean): {max(move_values) / mean:.2f}"
     return table
 
 
+def trace_header(records: Iterable[dict]) -> dict | None:
+    """The ``header`` record of a stream, if the session recorded one."""
+    for record in records:
+        if record.get("type") == "header":
+            return record
+    return None
+
+
+def single_core_caveat(header: dict) -> str | None:
+    """Warning line when parallel wall clocks came from a one-core host.
+
+    A p>1 process-backend run on one core cannot show wall-clock
+    speedup — the recorded ratios measure queue/scheduling overhead —
+    so every consumer of such a trace gets told explicitly.
+    """
+    cores = header.get("cpu_affinity") or header.get("cpu_cores")
+    p = header.get("p")
+    if cores == 1 and p and p > 1 and header.get("backend") == "process":
+        return (
+            f"WARNING: p={p} process-backend run recorded on a single-core "
+            "host; wall-clock ratios measure queue overhead, not parallel "
+            "speedup (use the sim clock, or re-record on a multi-core host)"
+        )
+    return None
+
+
+def header_summary(records: Iterable[dict]) -> str | None:
+    """Human rendering of the trace header (None when absent)."""
+    header = trace_header(records)
+    if header is None:
+        return None
+    backend = header.get("backend") or "-"
+    parts = [
+        f"python {header.get('python') or '?'}",
+        f"numpy {header.get('numpy') or '-'}",
+        f"cpu_cores {header.get('cpu_cores') or '?'}"
+        + (f" (affinity {header['cpu_affinity']})"
+           if header.get("cpu_affinity") is not None else ""),
+        f"backend {backend}",
+        f"p {header.get('p') or '-'}",
+    ]
+    lines = ["trace header: " + "  ".join(parts)]
+    caveat = single_core_caveat(header)
+    if caveat is not None:
+        lines.append(caveat)
+    return "\n".join(lines)
+
+
 def render_report(records: Iterable[dict]) -> str:
     """The full ``repro report`` output for one JSONL stream."""
     records = list(records)
-    sections = [
+    sections = []
+    header = header_summary(records)
+    if header is not None:
+        sections.append(header)
+    sections += [
         per_level_table(records),
         per_phase_table(records),
         load_imbalance_table(records),

@@ -33,6 +33,8 @@ rank was, even though the span never exits.
 
 from __future__ import annotations
 
+import os
+import platform
 import threading
 import time
 from contextlib import contextmanager
@@ -40,7 +42,43 @@ from typing import Any, Iterator
 
 from .metrics import MetricsRegistry
 
-__all__ = ["Span", "Tracer", "TRACER", "trace_session"]
+__all__ = ["Span", "Tracer", "TRACER", "host_header", "trace_session"]
+
+#: schema version of the trace header record
+_HEADER_VERSION = 1
+
+
+def host_header() -> dict[str, Any]:
+    """One ``{"type": "header", ...}`` record describing the recording host.
+
+    Captured once at :meth:`Tracer.enable` so every exported trace says
+    where its wall clocks came from — crucially ``cpu_cores`` (and the
+    cgroup-aware ``cpu_affinity``), because wall-clock "speedups" of the
+    process backend recorded on a single-core host measure queue
+    overhead, not parallelism.  The runtime annotates ``backend``/``p``
+    once an SPMD run starts.
+    """
+    try:
+        affinity: int | None = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # non-Linux hosts
+        affinity = None
+    try:
+        import numpy
+        numpy_version: str | None = numpy.__version__
+    except ImportError:  # keep obsv importable without numpy
+        numpy_version = None
+    return {
+        "type": "header",
+        "version": _HEADER_VERSION,
+        "cpu_cores": os.cpu_count(),
+        "cpu_affinity": affinity,
+        "python": platform.python_version(),
+        "numpy": numpy_version,
+        "platform": platform.platform(),
+        "pid": os.getpid(),
+        "backend": None,
+        "p": None,
+    }
 
 
 class _NoopSpan:
@@ -131,6 +169,7 @@ class Tracer:
         self.enabled = False
         self.records: list[dict[str, Any]] = []
         self.metrics = MetricsRegistry()
+        self.header: dict[str, Any] | None = None
         self._lock = threading.Lock()
         self._local = threading.local()
         self._last_span_by_rank: dict[int, tuple[str, dict[str, Any]]] = {}
@@ -140,9 +179,17 @@ class Tracer:
     # Lifecycle
     # ------------------------------------------------------------------
     def enable(self, reset: bool = True) -> "Tracer":
-        """Arm the tracer; by default drops records of a previous session."""
+        """Arm the tracer; by default drops records of a previous session.
+
+        A fresh host header is captured per session.  It lives beside the
+        record buffer (not in it) so ``TRACER.records`` stays pure
+        span/event data; exporters emit it as a ``header`` line and
+        :meth:`absorb` never duplicates it across process workers.
+        """
         if reset:
             self.reset()
+        if self.header is None:
+            self.header = host_header()
         self.enabled = True
         return self
 
@@ -155,8 +202,14 @@ class Tracer:
         with self._lock:
             self.records = []
         self.metrics.reset()
+        self.header = None
         self._last_span_by_rank.clear()
         self._wall_origin = time.perf_counter()
+
+    def annotate_header(self, **fields: Any) -> None:
+        """Fold run facts (``backend``, ``p``) into the session header."""
+        if self.header is not None:
+            self.header.update(fields)
 
     # ------------------------------------------------------------------
     # Recording

@@ -3,6 +3,7 @@
 from .machine import MACHINE_A, MACHINE_B, SERIAL, Machine
 from .memory import MemoryBudget, OutOfMemoryError, estimate_graph_bytes
 from .profiling import HotSpot, hotspots, profile_call
+from .rss import current_rss_bytes, memory_probe, memory_sample, peak_rss_bytes
 
 __all__ = [
     "HotSpot",
@@ -12,7 +13,11 @@ __all__ = [
     "Machine",
     "MemoryBudget",
     "OutOfMemoryError",
+    "current_rss_bytes",
     "estimate_graph_bytes",
     "hotspots",
+    "memory_probe",
+    "memory_sample",
+    "peak_rss_bytes",
     "profile_call",
 ]
