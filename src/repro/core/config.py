@@ -85,10 +85,14 @@ class PartitionConfig:
     lp_chunk_size: int | None = None
     #: sweep selector for the chunked LP kernels: ``'full'`` rescans every
     #: node each iteration, ``'frontier'`` only the active set (label-
-    #: identical per iteration, faster once labels converge); ``None``
-    #: defers to ``REPRO_LP_FRONTIER``, then the engine default
-    #: (frontier for chunk sizes > 1)
-    lp_engine: str | None = None
+    #: identical per iteration, faster once labels converge), and the
+    #: default ``'adaptive'`` switches between the two at runtime from
+    #: the observed active fraction (see repro.engine.autotune).  The
+    #: static names pin the engine; ``'adaptive'`` (and ``None``) stay
+    #: overridable through ``REPRO_LP_ENGINE`` / the legacy
+    #: ``REPRO_LP_FRONTIER`` — see repro.engine.kernels.resolve_engine
+    #: for the one documented precedence order.
+    lp_engine: str | None = "adaptive"
     name: str = "fast"
 
     def __post_init__(self) -> None:
@@ -98,8 +102,10 @@ class PartitionConfig:
             raise ValueError("epsilon must be >= 0")
         if self.num_vcycles < 1:
             raise ValueError("need at least one V-cycle")
-        if self.lp_engine not in (None, "full", "frontier"):
-            raise ValueError("lp_engine must be None, 'full' or 'frontier'")
+        if self.lp_engine not in (None, "full", "frontier", "adaptive"):
+            raise ValueError(
+                "lp_engine must be None, 'full', 'frontier' or 'adaptive'"
+            )
 
     def cluster_factor(self, vcycle: int, social: bool, rng: np.random.Generator) -> float:
         """The size-constraint factor f for a given V-cycle and graph class."""

@@ -49,6 +49,7 @@ import numpy as np
 
 from ..engine.backend import LocalBackend
 from ..engine.kernels import (
+    ADAPTIVE_ENGINE,
     FRONTIER_ENGINE,
     FULL_ENGINE,
     SCAN_ENGINE,
@@ -139,12 +140,14 @@ def size_constrained_label_propagation(
     engine:
         Sweep selector for the chunked kernels: ``'full'`` rescans every
         node each iteration, ``'frontier'`` only the active set (label-
-        identical, faster once labels converge); ``None`` defers to
-        ``REPRO_LP_FRONTIER`` at ``chunk_size > 1`` (default
-        ``frontier``) and always picks ``full`` at the bit-exact
-        ``chunk_size == 1`` — the environment cannot silently change
-        bit-exact results, only an explicit ``engine=`` can.  Ignored
-        by the scan engine.
+        identical, faster once labels converge), and the default
+        ``'adaptive'`` switches between them at runtime
+        (:mod:`repro.engine.autotune`); ``None`` defers to
+        ``REPRO_LP_ENGINE`` then the legacy ``REPRO_LP_FRONTIER`` at
+        ``chunk_size > 1`` (default ``adaptive``) and always picks
+        ``full`` at the bit-exact ``chunk_size == 1`` — the environment
+        cannot silently change bit-exact results, only an explicit
+        static ``engine=`` can.  Ignored by the scan engine.
 
     Returns
     -------
@@ -164,7 +167,7 @@ def size_constrained_label_propagation(
     if chunk != 0:
         resolved_engine = resolve_engine(
             engine,
-            default=FRONTIER_ENGINE if chunk > 1 else FULL_ENGINE,
+            default=ADAPTIVE_ENGINE if chunk > 1 else FULL_ENGINE,
             chunk=chunk,
         )
     elif engine == FRONTIER_ENGINE:

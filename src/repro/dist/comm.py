@@ -347,13 +347,23 @@ class CollectiveOps:
         return self._collect(value, lambda vals: sum(payload_bytes(v) for v in vals),
                              op="allgather")
 
-    def allreduce(self, value: Any, op: Callable[[Any, Any], Any] | None = None) -> Any:
+    def allreduce(
+        self,
+        value: Any,
+        op: Callable[[Any, Any], Any] | None = None,
+        tag: str | None = None,
+    ) -> Any:
         """Reduce values from all ranks; every rank receives the result.
 
         ``op`` defaults to elementwise addition (NumPy-aware).  Any
-        associative, commutative binary callable works.
+        associative, commutative binary callable works.  ``tag``
+        optionally refines the per-op stats key (and trace span) to
+        ``allreduce[tag]``, mirroring :meth:`alltoall`; tags must be
+        uniform across ranks (they participate in the sanitizer's order
+        check).
         """
-        values = self._collect(value, lambda vals: payload_bytes(vals[0]), op="allreduce")
+        name = "allreduce" if tag is None else f"allreduce[{tag}]"
+        values = self._collect(value, lambda vals: payload_bytes(vals[0]), op=name)
         if op is None:
             result = values[0]
             for other in values[1:]:

@@ -36,17 +36,21 @@ apply the bookkeeping between chunks.  ``chunk_size=1`` is bit-identical
 to the scan; larger chunks add phase-internal staleness of the same kind
 the ghost scheme already tolerates across PEs.
 
-Orthogonally, the chunked kernels run in one of two *sweep* modes
+Orthogonally, the chunked kernels run one of three *sweeps* per phase
 (``engine``, see :func:`repro.engine.kernels.resolve_engine`): the
-``full`` sweep scans every local node every phase, while the default
-``frontier`` engine rescans only the active set — last phase's movers
-and their local neighbours, local neighbours of ghosts whose labels
-changed in the exchange, nodes flagged *risky* or capped at their last
-scan, and (refine mode) members of over-budget blocks.  With the hash
-tie-break this is label-identical to the full sweep per iteration
-(test-enforced); it is just faster, because converged regions drop out
-of the scan.  ``comm.work`` is charged for the arcs actually scanned,
-so the frontier engine's simulated times drop alongside wall-clock.
+``full`` sweep scans every local node every phase, the ``frontier``
+engine rescans only the active set — last phase's movers and their
+local neighbours, local neighbours of ghosts whose labels changed in
+the exchange, nodes flagged *risky* or capped at their last scan, and
+(refine mode) members of over-budget blocks — and the default
+``adaptive`` engine starts in the full sweep and switches to frontier
+dispatch once the observed active fraction collapses (an allreduced,
+hence rank-uniform, decision; see :mod:`repro.engine.autotune`).  With
+the hash tie-break all of these are label-identical per iteration
+(test-enforced); they only differ in throughput, because converged
+regions drop out of the scan.  ``comm.work`` is charged for the arcs
+actually scanned, so the frontier sweeps' simulated times drop
+alongside wall-clock.
 
 The phase-boundary interface exchange is a *delta* exchange by default:
 each PE ships ``(interface position: int32, new label: int64)`` pairs
@@ -62,6 +66,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..engine.kernels import (
+    ADAPTIVE_ENGINE,
     FRONTIER_ENGINE,
     FULL_ENGINE,
     resolve_chunk_size,
@@ -120,12 +125,15 @@ def parallel_label_propagation(
     partition refreshed by a halo exchange).  ``chunk_size`` selects the
     scan engine (0), the bit-identical chunked kernels (1), or throughput
     chunking (>1); ``None`` defers to ``REPRO_LP_CHUNK`` and the default.
-    ``engine`` selects the ``full`` sweep or the ``frontier`` active-set
-    engine (``None`` defers to ``REPRO_LP_FRONTIER`` for throughput
-    chunking, default ``frontier``; the bit-exact ``chunk_size <= 1``
-    modes always run ``full`` unless an explicit ``engine=`` says
-    otherwise — the environment cannot silently change bit-exact
-    results).  ``delta_exchange`` selects the sparse
+    ``engine`` selects the sweep for the chunked kernels — ``full``,
+    the ``frontier`` active-set engine, or the default ``adaptive``
+    engine that switches between the two at runtime (``None`` defers to
+    ``REPRO_LP_ENGINE`` then the legacy ``REPRO_LP_FRONTIER`` for
+    throughput chunking; the bit-exact ``chunk_size <= 1`` modes always
+    run ``full`` unless an explicit static ``engine=`` says otherwise —
+    the environment cannot silently change bit-exact results; see
+    :func:`repro.engine.kernels.resolve_engine` for the one documented
+    precedence order).  ``delta_exchange`` selects the sparse
     interface exchange (the default) over the dense per-destination
     payloads.
     """
@@ -137,7 +145,7 @@ def parallel_label_propagation(
     chunk = resolve_chunk_size(chunk_size)
     resolved_engine = resolve_engine(
         engine,
-        default=FRONTIER_ENGINE if chunk > 1 else FULL_ENGINE,
+        default=ADAPTIVE_ENGINE if chunk > 1 else FULL_ENGINE,
         chunk=chunk,
     )
     if chunk == 0 and resolved_engine == FRONTIER_ENGINE:

@@ -13,6 +13,7 @@ points in :mod:`repro.core` and :mod:`repro.dist` are thin wrappers
 over these.
 """
 
+from .autotune import AutotuneController, PhaseDecision, resolve_cost_source
 from .backend import (
     BACKENDS,
     ExecutionBackend,
@@ -23,18 +24,26 @@ from .backend import (
     make_dist_backend,
     resolve_backend,
 )
+from .kernels import ADAPTIVE_ENGINE, ENGINES, IterationWorkspace, resolve_engine
 from .sclp import run_sclp
 from .vcycle import VcycleBackend, VcycleResult, run_coarsening, run_vcycle
 
 __all__ = [
+    "ADAPTIVE_ENGINE",
+    "AutotuneController",
     "BACKENDS",
+    "ENGINES",
     "ExecutionBackend",
+    "IterationWorkspace",
     "LocalBackend",
+    "PhaseDecision",
     "ProcessBackend",
     "SpmdBackend",
     "exchange_interface_labels",
     "make_dist_backend",
     "resolve_backend",
+    "resolve_cost_source",
+    "resolve_engine",
     "run_sclp",
     "run_vcycle",
     "run_coarsening",

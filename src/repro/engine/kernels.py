@@ -36,8 +36,11 @@ Engine selection: ``resolve_chunk_size`` maps an explicit value, the
 ``REPRO_LP_CHUNK`` environment variable, or the built-in default to a
 chunk size; ``0`` selects the legacy scalar scan.  Orthogonally,
 ``resolve_engine`` picks between the ``full`` sweep (every phase scans
-every node) and the ``frontier`` engine (phases after the first rescan
-only the *active set*), honouring ``REPRO_LP_FRONTIER``.
+every node), the ``frontier`` engine (phases after the first rescan
+only the *active set*), and the default ``adaptive`` engine (the
+runtime controller of :mod:`repro.engine.autotune` switches between the
+two per iteration), honouring ``REPRO_LP_ENGINE`` and the legacy
+``REPRO_LP_FRONTIER``.
 
 The frontier engine is label-identical to the full sweep per iteration.
 That hinges on the hash tie-break (:func:`candidate_tie_hash`): because
@@ -71,7 +74,10 @@ __all__ = [
     "SCAN_ENGINE",
     "FULL_ENGINE",
     "FRONTIER_ENGINE",
+    "ADAPTIVE_ENGINE",
+    "ENGINES",
     "FRONTIER_FULL_SWEEP_FRACTION",
+    "IterationWorkspace",
     "resolve_chunk_size",
     "resolve_engine",
     "effective_chunk",
@@ -102,6 +108,15 @@ FULL_ENGINE = "full"
 
 #: active-set engine: phases after the first rescan only the frontier
 FRONTIER_ENGINE = "frontier"
+
+#: auto-tuning engine: a runtime controller switches each iteration
+#: between the full sweep and frontier dispatch from the allreduced
+#: global active fraction, and tunes the chunk size during the first
+#: iterations (see :mod:`repro.engine.autotune`)
+ADAPTIVE_ENGINE = "adaptive"
+
+#: every valid sweep-engine selector, in resolution-document order
+ENGINES = (FULL_ENGINE, FRONTIER_ENGINE, ADAPTIVE_ENGINE)
 
 #: above this active fraction a frontier phase scans the full visit
 #: order with the prebuilt window plans instead of filtering — scanning
@@ -150,33 +165,51 @@ def resolve_chunk_size(
 
 def resolve_engine(
     explicit: str | None = None,
-    default: str = FRONTIER_ENGINE,
+    default: str = ADAPTIVE_ENGINE,
     chunk: int | None = None,
 ) -> str:
-    """Resolve the sweep-engine selector to ``full`` or ``frontier``.
+    """Resolve the sweep-engine selector to ``full``/``frontier``/``adaptive``.
 
-    ``explicit`` wins when given — over the environment too, always.
-    Otherwise ``REPRO_LP_FRONTIER`` is consulted (truthy values select
-    the frontier engine, falsy the full sweep), with empty/unknown
-    values falling back to ``default``.
+    One documented precedence order, highest first:
 
-    ``chunk``, when the caller passes its resolved chunk size, guards
-    the bit-exact contract: at ``chunk <= 1`` the environment is *not*
-    consulted and the full sweep is returned, because the node-at-a-time
-    modes pin the RNG tie-break which the frontier engine replaces with
-    the hash tie-break — an ambient ``REPRO_LP_FRONTIER=1`` must not
-    silently change bit-exact results.  An explicit ``engine=`` still
-    overrides (the caller asked for it by name).
+    1. a *pinned* explicit engine — ``engine='full'`` or
+       ``engine='frontier'`` (a function argument or
+       ``PartitionConfig.lp_engine``) always wins, over the environment
+       too.  An explicit ``'adaptive'`` is **not** pinned: it means "no
+       static choice", so it only replaces ``default`` and stays
+       re-resolvable by the environment below — which is what lets
+       ``lp_engine='adaptive'`` be the config default while the CI
+       matrix still forces both static engines through the environment.
+    2. the bit-exact guard: at a resolved ``chunk <= 1`` (node-at-a-time
+       semantics, RNG tie-break) the environment is *not* consulted and
+       the full sweep is returned — neither ``REPRO_LP_ENGINE`` nor
+       ``REPRO_LP_FRONTIER`` may silently change bit-exact results.
+    3. ``REPRO_LP_ENGINE`` — ``full`` | ``frontier`` | ``adaptive``.
+       Unknown non-empty values raise (a typo must not silently select
+       a different engine; the :func:`resolve_backend` precedent).
+    4. the legacy ``REPRO_LP_FRONTIER`` boolean (truthy selects the
+       frontier engine, falsy the full sweep; empty/unknown falls
+       through).
+    5. ``default`` — :data:`ADAPTIVE_ENGINE` unless the caller says
+       otherwise.
     """
     if explicit is not None:
-        if explicit not in (FULL_ENGINE, FRONTIER_ENGINE):
+        if explicit not in ENGINES:
             raise ValueError(
-                f"lp engine must be {FULL_ENGINE!r} or {FRONTIER_ENGINE!r}, "
-                f"got {explicit!r}"
+                f"lp engine must be one of {ENGINES}, got {explicit!r}"
             )
-        return explicit
+        if explicit != ADAPTIVE_ENGINE:
+            return explicit
+        default = ADAPTIVE_ENGINE
     if chunk is not None and chunk <= 1:
         return FULL_ENGINE
+    raw = os.environ.get("REPRO_LP_ENGINE", "").strip().lower()
+    if raw:
+        if raw not in ENGINES:
+            raise ValueError(
+                f"REPRO_LP_ENGINE must be one of {ENGINES}, got {raw!r}"
+            )
+        return raw
     raw = os.environ.get("REPRO_LP_FRONTIER", "").strip().lower()
     if raw in {"1", "true", "yes", "on", FRONTIER_ENGINE}:
         return FRONTIER_ENGINE
@@ -242,6 +275,52 @@ def chunk_ranges(n: int, chunk_size: int):
     """Yield ``(start, stop)`` pairs covering ``range(n)`` in chunks."""
     for start in range(0, n, chunk_size):
         yield start, min(start + chunk_size, n)
+
+
+class IterationWorkspace:
+    """Reusable scratch buffers for the chunked LP kernels.
+
+    One workspace per SCLP call (one level of the hierarchy): every
+    named buffer is allocated once at the first chunk that needs it,
+    grown to the next power of two when a later chunk is larger, and
+    *reused* across chunks and iterations — the per-iteration
+    allocation churn of the aggregation/argmax kernels collapses to the
+    handful of NumPy calls with no ``out=`` form (``argsort``,
+    ``flatnonzero``).  Buffers are handed out as prefix *views*; a
+    caller must consume a view before requesting the same key again
+    (the kernels here do: every candidate array dies with its chunk).
+
+    Not thread-safe and not shared between backends: each rank of an
+    SPMD run drives its own SCLP call, hence its own workspace.
+    """
+
+    __slots__ = ("_bufs",)
+
+    def __init__(self) -> None:
+        self._bufs: dict[str, np.ndarray] = {}
+
+    def buf(self, key: str, size: int, dtype) -> np.ndarray:
+        """A length-``size`` view of the (grow-only) buffer ``key``."""
+        arr = self._bufs.get(key)
+        if arr is None or arr.size < size or arr.dtype != np.dtype(dtype):
+            capacity = max(16, 1 << max(0, int(size - 1).bit_length()))
+            arr = np.empty(capacity, dtype=dtype)
+            self._bufs[key] = arr
+        return arr[:size]
+
+    def arange(self, size: int) -> np.ndarray:
+        """A read-only ``arange(size)`` prefix view (cached, grow-only)."""
+        arr = self._bufs.get("arange")
+        if arr is None or arr.size < size:
+            capacity = max(16, 1 << max(0, int(size - 1).bit_length()))
+            arr = np.arange(capacity, dtype=np.int64)
+            self._bufs["arange"] = arr
+        return arr[:size]
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes held across all buffers (for ``mem`` telemetry)."""
+        return sum(arr.nbytes for arr in self._bufs.values())
 
 
 @dataclass
@@ -346,6 +425,7 @@ def aggregate_candidates(
     labels: np.ndarray,
     label_span: int,
     exact_order: bool = False,
+    workspace: IterationWorkspace | None = None,
 ) -> ChunkCandidates:
     """Aggregate a chunk's neighbour-label connection strengths.
 
@@ -360,13 +440,21 @@ def aggregate_candidates(
     The default orders a node's candidates by label value instead, which
     halves the sort passes and is still deterministic.  ``label_span``
     must exceed every value in ``labels``.
+
+    ``workspace`` (fast path only) routes every sized temporary through
+    reusable buffers; results are views into the workspace, valid until
+    the next chunk requests it.  Output values are identical with and
+    without it (test-enforced).
     """
     n_chunk = plan.nodes.size
-    own = labels[plan.nodes]
     node_pos = plan.own_pos
-    lab = labels[plan.nbr]
     wgt = plan.wgt
     total = plan.arcs_scanned
+
+    if workspace is not None and not exact_order and n_chunk * label_span <= 2**62:
+        return _aggregate_fast_ws(plan, labels, label_span, workspace)
+    own = labels[plan.nodes]
+    lab = labels[plan.nbr]
 
     if not exact_order and n_chunk * label_span <= 2**62:
         # Fast path: a combined single sort key halves the sort passes
@@ -413,6 +501,68 @@ def aggregate_candidates(
         seg_start=seg_start,
         seg_count=seg_count,
         arcs_scanned=total,
+    )
+
+
+def _aggregate_fast_ws(
+    plan: ChunkPlan,
+    labels: np.ndarray,
+    label_span: int,
+    ws: IterationWorkspace,
+) -> ChunkCandidates:
+    """The combined-key fast path of :func:`aggregate_candidates`, with
+    every sized temporary routed through the workspace.  Same values as
+    the allocating path; only ``argsort``/``flatnonzero`` still allocate
+    (NumPy offers no ``out=`` form for either)."""
+    n_chunk = plan.nodes.size
+    node_pos = plan.own_pos
+    m = node_pos.size
+    own = np.take(labels, plan.nodes, out=ws.buf("agg.own", n_chunk, np.int64))
+    lab = np.take(labels, plan.nbr, out=ws.buf("agg.lab", m, np.int64))
+
+    key = ws.buf("agg.key", m, np.int64)
+    np.multiply(node_pos, label_span, out=key)
+    key += lab
+    order = np.argsort(key, kind="stable")
+    g_key = np.take(key, order, out=ws.buf("agg.gkey", m, np.int64))
+    head = ws.buf("agg.head", m, bool)
+    head[0] = True
+    np.not_equal(g_key[1:], g_key[:-1], out=head[1:])
+    starts = np.flatnonzero(head)
+    n_cand = starts.size
+    wgt = plan.wgt if plan.wgt.dtype == np.int64 else plan.wgt.astype(np.int64)
+    g_wgt = np.take(wgt, order, out=ws.buf("agg.gwgt", m, np.int64))
+    c_str = ws.buf("agg.cstr", n_cand, np.int64)
+    np.add.reduceat(g_wgt, starts, out=c_str)
+    s_key = np.take(g_key, starts, out=ws.buf("agg.skey", n_cand, np.int64))
+    c_node = ws.buf("agg.cnode", n_cand, np.int64)
+    np.floor_divide(s_key, label_span, out=c_node)
+    c_lab = ws.buf("agg.clab", n_cand, np.int64)
+    np.remainder(s_key, label_span, out=c_lab)
+
+    # Every chunk node owns at least one candidate (the trailing
+    # self-arc), so the run boundaries of the sorted ``c_node`` cover
+    # exactly the ``n_chunk`` nodes — ``diff`` of boundaries replaces
+    # the allocating ``bincount``.
+    nhead = ws.buf("agg.nhead", n_cand, bool)
+    nhead[0] = True
+    np.not_equal(c_node[1:], c_node[:-1], out=nhead[1:])
+    seg_start = np.flatnonzero(nhead)
+    seg_count = ws.buf("agg.segcnt", n_chunk, np.int64)
+    np.subtract(seg_start[1:], seg_start[:-1], out=seg_count[: n_chunk - 1])
+    seg_count[n_chunk - 1] = n_cand - seg_start[n_chunk - 1]
+
+    own_at = np.take(own, c_node, out=ws.buf("agg.ownat", n_cand, np.int64))
+    is_own = ws.buf("agg.isown", n_cand, bool)
+    np.equal(c_lab, own_at, out=is_own)
+    return ChunkCandidates(
+        node_pos=c_node,
+        labels=c_lab,
+        strength=c_str,
+        is_own=is_own,
+        seg_start=seg_start,
+        seg_count=seg_count,
+        arcs_scanned=plan.arcs_scanned,
     )
 
 
@@ -471,7 +621,10 @@ def pick_targets(cands: ChunkCandidates, eligible: np.ndarray, tie_rng) -> np.nd
 
 
 def pick_targets_hashed(
-    cands: ChunkCandidates, eligible: np.ndarray, tie_hash: np.ndarray
+    cands: ChunkCandidates,
+    eligible: np.ndarray,
+    tie_hash: np.ndarray,
+    workspace: IterationWorkspace | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Masked argmax with hash tie-breaking, plus a *risky* flag per node.
 
@@ -498,6 +651,9 @@ def pick_targets_hashed(
     risky = np.zeros(n_chunk, dtype=bool)
     if cands.node_pos.size == 0:
         return choice, risky
+    if workspace is not None:
+        return _pick_hashed_ws(cands, eligible, tie_hash, workspace,
+                               choice, risky)
     eff = np.where(eligible, cands.strength, np.int64(-1))
     seg_max = np.maximum.reduceat(eff, cands.seg_start)
     node_max = seg_max[cands.node_pos]
@@ -525,6 +681,68 @@ def pick_targets_hashed(
         | ~has[cands.node_pos]
     )
     risky = np.add.reduceat(danger.astype(np.int64), cands.seg_start) > 0
+    return choice, risky
+
+
+def _pick_hashed_ws(
+    cands: ChunkCandidates,
+    eligible: np.ndarray,
+    tie_hash: np.ndarray,
+    ws: IterationWorkspace,
+    choice: np.ndarray,
+    risky: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Workspace-buffered body of :func:`pick_targets_hashed` (same
+    values as the allocating path, test-enforced).  ``choice``/``risky``
+    are the caller's freshly-allocated result arrays — per-node sized,
+    cheap, and safe to outlive the next chunk's workspace reuse."""
+    m = cands.node_pos.size
+    seg_start = cands.seg_start
+    n_seg = seg_start.size
+    eff = ws.buf("pick.eff", m, np.int64)
+    eff.fill(-1)
+    np.copyto(eff, cands.strength, where=eligible)
+    seg_max = ws.buf("pick.segmax", n_seg, np.int64)
+    np.maximum.reduceat(eff, seg_start, out=seg_max)
+    node_max = np.take(seg_max, cands.node_pos,
+                       out=ws.buf("pick.nodemax", m, np.int64))
+
+    best = ws.buf("pick.best", m, bool)
+    np.equal(cands.strength, node_max, out=best)
+    best &= eligible
+    h_eff = ws.buf("pick.heff", m, np.uint64)
+    h_eff.fill(0)
+    np.copyto(h_eff, tie_hash, where=best)
+    seg_hmax = ws.buf("pick.seghmax", n_seg, np.uint64)
+    np.maximum.reduceat(h_eff, seg_start, out=seg_hmax)
+    node_hmax = np.take(seg_hmax, cands.node_pos,
+                        out=ws.buf("pick.nodehmax", m, np.uint64))
+    winner = ws.buf("pick.winner", m, bool)
+    np.equal(h_eff, node_hmax, out=winner)
+    winner &= best
+    idx_eff = ws.buf("pick.idxeff", m, np.int64)
+    idx_eff.fill(np.iinfo(np.int64).max)
+    np.copyto(idx_eff, ws.arange(m), where=winner)
+    seg_first = ws.buf("pick.segfirst", n_seg, np.int64)
+    np.minimum.reduceat(idx_eff, seg_start, out=seg_first)
+    has = ws.buf("pick.has", n_seg, bool)
+    np.greater_equal(seg_max, 0, out=has)
+    np.copyto(choice, seg_first, where=has)
+
+    danger = ws.buf("pick.danger", m, bool)
+    np.greater(cands.strength, node_max, out=danger)
+    t_eq = ws.buf("pick.teq", m, bool)
+    np.equal(cands.strength, node_max, out=t_eq)
+    t_hash = ws.buf("pick.thash", m, bool)
+    np.greater_equal(tie_hash, node_hmax, out=t_hash)
+    t_eq &= t_hash
+    danger |= t_eq
+    no_elig = np.take(has, cands.node_pos, out=t_hash)  # reuse: done with it
+    np.logical_not(no_elig, out=no_elig)
+    danger |= no_elig
+    np.logical_not(eligible, out=t_eq)  # reuse: done with it
+    danger &= t_eq
+    np.logical_or.reduceat(danger, seg_start, out=risky)
     return choice, risky
 
 

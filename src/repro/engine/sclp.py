@@ -36,12 +36,29 @@ interface labels* is zero — each preserving its pipeline's established
 from __future__ import annotations
 
 import random as _pyrandom
+import time as _time
 
 import numpy as np
 
+from .autotune import (
+    S_ARCS,
+    S_CANCELLED,
+    S_CHUNKS,
+    S_NEXT,
+    S_SCANNED,
+    S_UNIVERSE,
+    S_UPPER,
+    S_WALL,
+    STATS_LEN,
+    SWEEP_FRONTIER,
+    AutotuneController,
+)
 from .kernels import (
+    ADAPTIVE_ENGINE,
     FRONTIER_ENGINE,
     FRONTIER_FULL_SWEEP_FRACTION,
+    FULL_ENGINE,
+    IterationWorkspace,
     aggregate_candidates,
     candidate_tie_hash,
     capped_inflow_mask,
@@ -141,11 +158,18 @@ def _chunked_phases(
     n_local = backend.n_local
     xadj, adjncy, adjwgt = backend.xadj, backend.adjncy, backend.adjwgt
     degrees = backend.degrees
+    adaptive = engine == ADAPTIVE_ENGINE and chunk > 1
+    if engine == ADAPTIVE_ENGINE and not adaptive:
+        # chunk == 1 is the bit-exact scan-equivalent regime: there is
+        # nothing to tune, and the hashed tie-break must stay off.
+        engine = FULL_ENGINE
     frontier_mode = engine == FRONTIER_ENGINE
     hashed = frontier_mode or chunk > 1
     tie_rng = None if hashed else make_tie_breaker(tie_seed, chunk)
     tie_base = backend.tie_base
     mode_name = "refine" if refine else "cluster"
+    controller = AutotuneController(chunk) if adaptive else None
+    workspace = IterationWorkspace() if hashed else None
 
     weight = local_net = local_out = inflow_budget = evict_budget = exact = None
     if refine:
@@ -186,18 +210,48 @@ def _chunked_phases(
         return plan
 
     active = np.ones(n_local, dtype=bool)
+    # Persistent per-phase masks: filled (not reallocated) every phase,
+    # with the frontier double-buffer swapped at the phase boundary.
+    next_active = np.zeros(n_local, dtype=bool)
+    changed_mask = np.zeros(n_local, dtype=bool)
+    # Phase-head label snapshot backing the controller's switch signal:
+    # the mover term must be a pure function of the label trajectory
+    # (net end-of-phase diff), not of per-chunk mover counts, which
+    # depend on the chunk layout and therefore on the rank count.
+    base_labels = np.empty(n_local, dtype=labels.dtype) if adaptive else None
     for _phase in range(max(0, iterations)):
+        decision = controller.decide() if controller is not None else None
+        sweep_frontier = (
+            frontier_mode if decision is None
+            else decision.sweep == SWEEP_FRONTIER
+        )
+        req_chunk = chunk if decision is None else decision.chunk
+        # Adaptive full sweeps defer the frontier bookkeeping: collect
+        # what *would* activate (movers, risky, capped, changed ghosts)
+        # as cheap array appends, and only materialise the active set if
+        # the controller actually switches.
+        defer = adaptive and not sweep_frontier
+        pend_nodes: list[np.ndarray] = []
+        pend_extra: list[np.ndarray] = []
+        pend_ghost: list[np.ndarray] = []
+        cancelled = 0
+        wall_t0 = _time.perf_counter() if adaptive else 0.0
+        if defer:
+            np.copyto(base_labels, labels[:n_local])
         if ordering == "degree":
             order = base_order
         else:
             order = backend.rng.permutation(n_local)
             if not refine:
                 order = order[degrees[order] > 0]
-        phase_chunk = effective_chunk(chunk, order.size)
+        phase_chunk = effective_chunk(req_chunk, order.size)
+        span_extra = {} if decision is None else {
+            "sweep": decision.sweep, "chunk_request": decision.chunk,
+        }
         lp_span = TRACER.span(
             "lp.iteration", **backend.span_kwargs(), engine=engine,
             mode=mode_name, iteration=_phase, chunk_size=phase_chunk,
-            constrained=constraint is not None,
+            constrained=constraint is not None, **span_extra,
         )
         lp_span.__enter__()
         if shares:
@@ -205,14 +259,14 @@ def _chunked_phases(
             evict_budget = np.maximum(0.0, (exact - bound) / backend.size)
             local_net[:] = 0
             local_out[:] = 0
-        if frontier_mode and refine:
+        if sweep_frontier and refine:
             over = np.flatnonzero((exact if shares else weight) > bound)
             if over.size:
                 # Eviction pressure reaches over-budget blocks' members
                 # even when their neighbourhood never changed.
                 active |= np.isin(labels[:n_local], over)
-        changed_mask = np.zeros(n_local, dtype=bool)
-        next_active = np.zeros(n_local, dtype=bool)
+        changed_mask.fill(False)
+        next_active.fill(False)
         arcs_scanned = 0
         moved = 0
         scanned = 0
@@ -220,9 +274,12 @@ def _chunked_phases(
         # Scanning a superset of the active set is label-identical, so
         # with cached degree-order plans the filtered re-plans only pay
         # for themselves below ~half activity; random order re-plans
-        # every phase anyway, making filtering a pure win.
-        filtering = frontier_mode and (
-            ordering != "degree"
+        # every phase anyway, making filtering a pure win.  The adaptive
+        # controller only picks the frontier sweep below the entry
+        # fraction, so there filtering is unconditional.
+        filtering = sweep_frontier and (
+            adaptive
+            or ordering != "degree"
             or order.size == 0
             or active[order].mean() < FRONTIER_FULL_SWEEP_FRACTION
         )
@@ -261,6 +318,7 @@ def _chunked_phases(
                 cands = aggregate_candidates(
                     plan, labels, space,
                     exact_order=not hashed and chunk == 1,
+                    workspace=workspace,
                 )
                 arcs_scanned += cands.arcs_scanned
                 if shares:
@@ -281,9 +339,15 @@ def _chunked_phases(
                     if tie_base:
                         tie_ids = tie_base + tie_ids
                     tie_hash = candidate_tie_hash(tie_seed, tie_ids, cands.labels)
-                    choice, risky = pick_targets_hashed(cands, eligible, tie_hash)
-                    if frontier_mode and risky.any():
-                        next_active[connected[risky]] = True
+                    choice, risky = pick_targets_hashed(
+                        cands, eligible, tie_hash, workspace=workspace
+                    )
+                    if (sweep_frontier or defer) and risky.any():
+                        flagged = connected[risky]
+                        if sweep_frontier:
+                            next_active[flagged] = True
+                        else:
+                            pend_extra.append(flagged)
                 else:
                     choice = pick_targets(cands, eligible, tie_rng)
                 has = choice >= 0
@@ -304,9 +368,14 @@ def _chunked_phases(
                             m_target, m_c, weight[m_target],
                             np.full(m_target.size, bound, dtype=np.int64),
                         )
-                    if frontier_mode and not keep.all():
+                    if (adaptive or sweep_frontier) and not keep.all():
                         # A capped node may succeed once the target drains.
-                        next_active[m_nodes[~keep]] = True
+                        dropped = m_nodes[~keep]
+                        cancelled += int(dropped.size)
+                        if sweep_frontier:
+                            next_active[dropped] = True
+                        elif defer:
+                            pend_extra.append(dropped)
                     m_nodes, m_own = m_nodes[keep], m_own[keep]
                     m_target, m_c = m_target[keep], m_c[keep]
                     if shares:
@@ -320,7 +389,7 @@ def _chunked_phases(
                     labels[m_nodes] = m_target
                     changed_mask[m_nodes[interface[m_nodes]]] = True
                     moved += int(m_nodes.size)
-                    if frontier_mode and m_nodes.size:
+                    if sweep_frontier and m_nodes.size:
                         next_active[m_nodes] = True
                         nbrs = gather_neighbors(m_nodes, xadj, adjncy)
                         local_nbrs = nbrs[nbrs < n_local]
@@ -328,6 +397,10 @@ def _chunked_phases(
                         # Later windows of this phase must rescan the
                         # movers' neighbours too (within-phase propagation).
                         active[local_nbrs] = True
+                    elif defer and m_nodes.size:
+                        # One deferred neighbour gather at the sweep
+                        # switch replaces the per-chunk scatter above.
+                        pend_nodes.append(m_nodes)
             if refine:
                 # Isolated nodes: balance repair against the live views,
                 # node-at-a-time (rare; matches the scan's first-minimal
@@ -361,8 +434,10 @@ def _chunked_phases(
                         weight[b] += c
                     labels[v] = b
                     moved += 1
-                    if frontier_mode:
+                    if sweep_frontier:
                         next_active[v] = True
+                    elif defer:
+                        pend_nodes.append(np.array([v], dtype=np.int64))
                     if interface[v]:
                         changed_mask[v] = True
         backend.work(arcs_scanned)
@@ -371,8 +446,13 @@ def _chunked_phases(
         if ghost_idx.size:
             diff = labels[ghost_idx] != ghost_vals
             if refine:
-                if frontier_mode and diff.any():
-                    next_active[backend.ghost_change_sources(ghost_idx[diff])] = True
+                if diff.any():
+                    if sweep_frontier:
+                        next_active[
+                            backend.ghost_change_sources(ghost_idx[diff])
+                        ] = True
+                    elif defer:
+                        pend_ghost.append(ghost_idx[diff])
                 labels[ghost_idx] = ghost_vals
             elif diff.any():
                 old = labels[ghost_idx]
@@ -380,24 +460,81 @@ def _chunked_phases(
                 np.subtract.at(weight, old[diff], g_w)
                 np.add.at(weight, ghost_vals[diff], g_w)
                 labels[ghost_idx[diff]] = ghost_vals[diff]
-                if frontier_mode:
+                if sweep_frontier:
                     next_active[backend.ghost_change_sources(ghost_idx[diff])] = True
+                elif defer:
+                    pend_ghost.append(ghost_idx[diff])
 
         if shares:
             # Restore exact weights with one reduction (Section IV-B).
             exact = backend.reduce_block_weights(labels, space)
 
         global_changed = backend.global_changed(moved, int(changed_mask.sum()))
+        if controller is not None:
+            # One small tagged allreduce per iteration: the only
+            # cross-rank input to the controller, so every rank holds
+            # the same decision state (uniform collective order is the
+            # self-lint's invariant; the reduce is called here
+            # unconditionally, on every rank, every phase).
+            stats_vec = np.zeros(STATS_LEN, dtype=np.float64)
+            stats_vec[S_UNIVERSE] = order.size
+            if defer:
+                # Switch signal: net movers over the phase (end labels
+                # vs the phase-head snapshot), each bounding its reach
+                # by 1 + degree.  A pure function of the label
+                # trajectory, so every backend and rank count that
+                # produces the same labels sees the same signal —
+                # per-chunk mover/risky/capped counts do not qualify,
+                # as transient flips depend on the chunk layout.
+                net = np.flatnonzero(labels[:n_local] != base_labels)
+                stats_vec[S_UPPER] = int(net.size) + int(degrees[net].sum())
+            stats_vec[S_NEXT] = int(next_active.sum()) if sweep_frontier else 0
+            stats_vec[S_ARCS] = arcs_scanned
+            stats_vec[S_CHUNKS] = n_chunks
+            stats_vec[S_CANCELLED] = cancelled
+            stats_vec[S_SCANNED] = scanned
+            stats_vec[S_WALL] = _time.perf_counter() - wall_t0
+            controller.observe(backend.reduce_scan_stats(stats_vec))
+            with TRACER.span(
+                "lp.autotune", **backend.span_kwargs(),
+                iteration=_phase, sweep=decision.sweep,
+                chunk_request=decision.chunk, chunk_effective=phase_chunk,
+                probe=decision.probe, locked=decision.locked,
+                active_frac=round(decision.active_frac, 4),
+                next_sweep=controller.sweep,
+                cost_source=controller.cost_source,
+            ):
+                pass
         lp_span.set(moved=moved, arcs=arcs_scanned, chunks=n_chunks,
                     global_changed=global_changed, active=scanned,
                     frontier_frac=round(scanned / max(1, order.size), 4))
         if TRACER.enabled:
             lp_span.set(rss_bytes=current_rss_bytes())
+            if workspace is not None:
+                lp_span.set(workspace_bytes=workspace.nbytes)
             TRACER.metrics.counter("lp.iterations").inc()
             TRACER.metrics.counter("lp.moved_nodes").inc(moved)
         lp_span.__exit__(None, None, None)
-        if frontier_mode:
-            active = next_active
+        if sweep_frontier:
+            active, next_active = next_active, active
+        elif defer and controller is not None and controller.sweep == SWEEP_FRONTIER:
+            # Entering frontier dispatch next phase: materialise exactly
+            # the active set the static frontier engine would have built
+            # during this full sweep — movers and their neighbours (one
+            # gather for the whole phase), risky and inflow-capped
+            # nodes, and the local sources of changed ghosts.
+            active.fill(False)
+            if pend_nodes:
+                movers_cat = np.concatenate(pend_nodes)
+                active[movers_cat] = True
+                nbrs = gather_neighbors(movers_cat, xadj, adjncy)
+                active[nbrs[nbrs < n_local]] = True
+            for extra in pend_extra:
+                active[extra] = True
+            if pend_ghost:
+                active[
+                    backend.ghost_change_sources(np.concatenate(pend_ghost))
+                ] = True
         if global_changed == 0:
             break
     return labels

@@ -45,6 +45,7 @@ from .report import (
 
 __all__ = [
     "RUN_SUMMARY_SCHEMA",
+    "autotune_decisions",
     "build_run_summary",
     "comm_matrix",
     "compare_run_summaries",
@@ -365,15 +366,51 @@ def _convergence(records: list[dict]) -> list[dict[str, Any]]:
         if span.get("rank") not in (None, 0):
             continue
         attrs = span.get("attrs") or {}
-        points.append({
+        point = {
             "engine": attrs.get("engine"),
             "mode": attrs.get("mode"),
             "iteration": attrs.get("iteration"),
             "moved": attrs.get("moved"),
             "global_changed": attrs.get("global_changed"),
             "frontier_frac": attrs.get("frontier_frac"),
-        })
+        }
+        # Adaptive-engine runs also stamp the controller's choice on the
+        # iteration span; static runs simply omit the keys.
+        if "sweep" in attrs:
+            point["sweep"] = attrs["sweep"]
+            point["chunk_request"] = attrs.get("chunk_request")
+        points.append(point)
     return points
+
+
+def autotune_decisions(records: Iterable[dict]) -> list[dict[str, Any]]:
+    """The adaptive engine's per-iteration decision trace.
+
+    One row per (rank 0 / rank-less) ``lp.autotune`` span, in trace
+    order: which sweep the iteration ran, the requested and effective
+    chunk, whether the chunk search was still probing or locked in, the
+    allreduced active fraction the decision saw, and the sweep selected
+    for the *next* iteration.  The decisions are rank-uniform by
+    construction (they derive from an allreduce), so rank 0 speaks for
+    the run.
+    """
+    rows = []
+    for span in _spans(records, "lp.autotune"):
+        if span.get("rank") not in (None, 0):
+            continue
+        attrs = span.get("attrs") or {}
+        rows.append({
+            "iteration": attrs.get("iteration"),
+            "sweep": attrs.get("sweep"),
+            "chunk_request": attrs.get("chunk_request"),
+            "chunk_effective": attrs.get("chunk_effective"),
+            "probe": attrs.get("probe"),
+            "locked": attrs.get("locked"),
+            "active_frac": attrs.get("active_frac"),
+            "next_sweep": attrs.get("next_sweep"),
+            "cost_source": attrs.get("cost_source"),
+        })
+    return rows
 
 
 def build_run_summary(records: Iterable[dict]) -> dict[str, Any]:
@@ -413,6 +450,10 @@ def build_run_summary(records: Iterable[dict]) -> dict[str, Any]:
         },
         "phases": phase_times(records),
         "convergence": _convergence(records),
+        # Present (possibly empty) whether or not the adaptive engine
+        # ran; not part of the required v1 keys, so old summaries stay
+        # valid and new ones carry the decision trace.
+        "autotune": autotune_decisions(records),
         "comm": {
             "matrix": comm_matrix(records),
             "collectives": counters.get("comm.collectives"),
@@ -611,6 +652,39 @@ def _comm_matrix_table(matrix: dict[str, Any]) -> str:
     return table
 
 
+def _autotune_table(rows: list[dict[str, Any]]) -> str | None:
+    """Adaptive-engine decision table; ``None`` when no adaptive LP ran."""
+    if not rows:
+        return None
+    # One LP call's decisions restart iteration numbering at 0; show the
+    # last LP call in full (usually the interesting one) plus a rollup.
+    starts = [i for i, row in enumerate(rows) if row.get("iteration") == 0]
+    last = rows[starts[-1]:] if starts else rows
+    sweeps = defaultdict(int)
+    for row in rows:
+        sweeps[str(row.get("sweep"))] += 1
+    table_rows = [
+        [str(row.get("iteration")), str(row.get("sweep")),
+         str(row.get("chunk_request")), str(row.get("chunk_effective")),
+         "probe" if row.get("probe") else ("locked" if row.get("locked") else "-"),
+         f"{row['active_frac']:.4f}" if row.get("active_frac") is not None else "-",
+         str(row.get("next_sweep"))]
+        for row in last
+    ]
+    header = (
+        f"autotune decisions ({len(rows)} iterations total, "
+        + ", ".join(f"{n} {name}" for name, n in sorted(sweeps.items()))
+        + (f"; last LP call of {len(starts)} shown" if len(starts) > 1 else "")
+        + ")"
+    )
+    return _format_table(
+        header,
+        ["iter", "sweep", "chunk req", "chunk eff", "search", "active frac",
+         "next sweep"],
+        table_rows,
+    )
+
+
 def _memory_table(memory: dict[str, Any]) -> str:
     if not memory["per_rank"]:
         return "memory: no RSS samples in this trace"
@@ -647,6 +721,9 @@ def render_analysis(records: Iterable[dict]) -> str:
     sections.append(_critical_path_table(path))
     sections.append(_blame_table(straggler_blame(records)))
     sections.append(_comm_matrix_table(comm_matrix(records)))
+    autotune = _autotune_table(autotune_decisions(records))
+    if autotune is not None:
+        sections.append(autotune)
     sections.append(_memory_table(rank_memory(records)))
     return "\n\n".join(sections)
 

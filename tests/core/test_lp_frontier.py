@@ -13,6 +13,7 @@ import pytest
 
 from repro.core.label_propagation import size_constrained_label_propagation
 from repro.core.lp_kernels import (
+    ADAPTIVE_ENGINE,
     FRONTIER_ENGINE,
     FULL_ENGINE,
     ChunkCandidates,
@@ -53,6 +54,20 @@ class TestFrontierIdentity:
                 f"labels diverge after {iterations} iteration(s)"
             )
 
+    @pytest.mark.parametrize("graph", GRAPHS, ids=["rmat", "rgg"])
+    @pytest.mark.parametrize("refine", [False, True], ids=["cluster", "refine"])
+    def test_adaptive_identical_per_iteration(self, graph, refine):
+        # Adaptive == full at the throughput chunk: the probe steps all
+        # clamp to the same effective chunk on these graph sizes, and
+        # every sweep the controller picks is label-identical to the
+        # full sweep.
+        for iterations in (1, 3, 5):
+            full = run(graph, FULL_ENGINE, refine, 64, iterations)
+            adaptive = run(graph, ADAPTIVE_ENGINE, refine, 64, iterations)
+            assert np.array_equal(full, adaptive), (
+                f"labels diverge after {iterations} iteration(s)"
+            )
+
     def test_frontier_requires_chunked_kernels(self):
         g = GRAPHS[0]
         rng = np.random.default_rng(0)
@@ -64,6 +79,14 @@ class TestFrontierIdentity:
 
 
 class TestResolveEngine:
+    @pytest.fixture(autouse=True)
+    def _clear_engine_env(self, monkeypatch):
+        # These tests exercise the legacy REPRO_LP_FRONTIER boolean and
+        # the default; an ambient REPRO_LP_ENGINE (e.g. the adaptive CI
+        # leg) sits above both in the precedence order and must not
+        # bleed in.
+        monkeypatch.delenv("REPRO_LP_ENGINE", raising=False)
+
     def test_explicit_wins(self, monkeypatch):
         monkeypatch.setenv("REPRO_LP_FRONTIER", "0")
         assert resolve_engine(FRONTIER_ENGINE) == FRONTIER_ENGINE
@@ -102,6 +125,81 @@ class TestResolveEngine:
         assert resolve_engine(FRONTIER_ENGINE, chunk=1) == FRONTIER_ENGINE
         monkeypatch.setenv("REPRO_LP_FRONTIER", "0")
         assert resolve_engine(FRONTIER_ENGINE, chunk=1) == FRONTIER_ENGINE
+
+
+class TestResolveEnginePrecedenceMatrix:
+    """Exhaustive regression over every env/config combination.
+
+    ``resolve_engine`` is the one documented precedence order for
+    explicit ``engine=`` / ``PartitionConfig.lp_engine`` vs
+    ``REPRO_LP_ENGINE`` vs the legacy ``REPRO_LP_FRONTIER`` boolean vs
+    the ``adaptive`` default.  The oracle below restates the documented
+    order independently; any drift between code and doc fails here.
+    """
+
+    EXPLICITS = (None, FULL_ENGINE, FRONTIER_ENGINE, ADAPTIVE_ENGINE)
+    ENV_ENGINE = (None, "full", "frontier", "adaptive")
+    ENV_FRONTIER = (None, "1", "0", "frontier", "off", "")
+    CHUNKS = (None, 0, 1, 64)
+
+    @staticmethod
+    def _oracle(explicit, env_engine, env_frontier, chunk):
+        # 1. pinned static explicit; explicit 'adaptive' only replaces
+        #    the default and stays env-re-resolvable.
+        if explicit in (FULL_ENGINE, FRONTIER_ENGINE):
+            return explicit
+        # 2. bit-exact guard: chunk <= 1 never consults the environment.
+        if chunk is not None and chunk <= 1:
+            return FULL_ENGINE
+        # 3. REPRO_LP_ENGINE names the engine outright.
+        if env_engine is not None:
+            return env_engine
+        # 4. legacy boolean (empty/unknown falls through).
+        if env_frontier in ("1", "frontier"):
+            return FRONTIER_ENGINE
+        if env_frontier in ("0", "off"):
+            return FULL_ENGINE
+        # 5. the adaptive default.
+        return ADAPTIVE_ENGINE
+
+    def test_every_combination_matches_the_documented_order(self, monkeypatch):
+        from itertools import product
+
+        for explicit, env_engine, env_frontier, chunk in product(
+            self.EXPLICITS, self.ENV_ENGINE, self.ENV_FRONTIER, self.CHUNKS
+        ):
+            if env_engine is None:
+                monkeypatch.delenv("REPRO_LP_ENGINE", raising=False)
+            else:
+                monkeypatch.setenv("REPRO_LP_ENGINE", env_engine)
+            if env_frontier is None:
+                monkeypatch.delenv("REPRO_LP_FRONTIER", raising=False)
+            else:
+                monkeypatch.setenv("REPRO_LP_FRONTIER", env_frontier)
+            got = resolve_engine(explicit, chunk=chunk)
+            want = self._oracle(explicit, env_engine, env_frontier, chunk)
+            assert got == want, (
+                f"explicit={explicit!r} REPRO_LP_ENGINE={env_engine!r} "
+                f"REPRO_LP_FRONTIER={env_frontier!r} chunk={chunk!r}: "
+                f"resolved {got!r}, documented order says {want!r}"
+            )
+
+    def test_unknown_env_engine_raises_not_misroutes(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LP_ENGINE", "fronteer")
+        with pytest.raises(ValueError, match="REPRO_LP_ENGINE"):
+            resolve_engine(None, chunk=64)
+        # ... but a pinned explicit engine never reads the environment.
+        assert resolve_engine(FULL_ENGINE, chunk=64) == FULL_ENGINE
+        # ... and the bit-exact guard sits above the env lookup.
+        assert resolve_engine(None, chunk=1) == FULL_ENGINE
+
+    def test_config_default_is_adaptive(self):
+        from repro.core.config import PartitionConfig, fast_config
+
+        assert PartitionConfig().lp_engine == ADAPTIVE_ENGINE
+        assert fast_config().lp_engine == ADAPTIVE_ENGINE
+        with pytest.raises(ValueError, match="lp_engine"):
+            PartitionConfig(lp_engine="sideways")
 
 
 class TestHashedKernels:

@@ -16,12 +16,16 @@ from repro.core.lp_kernels import (
     DEFAULT_CHUNK_SIZE,
     MIN_REFRESHES_PER_PHASE,
     SCAN_ENGINE,
+    IterationWorkspace,
+    aggregate_candidates,
+    candidate_tie_hash,
     capped_inflow_mask,
     chunk_ranges,
     effective_chunk,
     gather_candidates,
     make_tie_breaker,
     pick_targets,
+    pick_targets_hashed,
     plan_chunk,
     resolve_chunk_size,
 )
@@ -336,3 +340,52 @@ class TestChunkedQuality:
         )
         assert block_weights(graph, chunked, k).max() <= bound
         assert edge_cut(graph, chunked) < edge_cut(graph, start)
+
+
+class TestWorkspaceIdentity:
+    """The zero-allocation kernel paths are bit-equal to the plain ones.
+
+    One grow-only :class:`IterationWorkspace` is reused across every
+    trial — deliberately mixing chunk sizes, label spans and constraint
+    masks — so stale buffer contents from a previous (larger) chunk can
+    never leak into a later result.
+    """
+
+    TRIALS = 300
+
+    def test_aggregate_and_pick_fuzz(self):
+        graph = rmat(8, seed=0)
+        rng = np.random.default_rng(99)
+        workspace = IterationWorkspace()
+        import dataclasses
+
+        for trial in range(self.TRIALS):
+            span = int(rng.integers(2, 40))
+            labels = rng.integers(0, span, graph.num_nodes).astype(np.int64)
+            size = int(rng.integers(1, 81))
+            nodes = rng.choice(graph.num_nodes, size, replace=False)
+            constraint = None
+            if rng.random() < 0.3:
+                constraint = rng.integers(0, 2, graph.num_nodes)
+            plan = plan_chunk(
+                nodes, graph.xadj, graph.adjncy, graph.adjwgt, constraint
+            )
+            plain = aggregate_candidates(plan, labels, span)
+            fast = aggregate_candidates(plan, labels, span,
+                                        workspace=workspace)
+            for field in dataclasses.fields(plain):
+                a = getattr(plain, field.name)
+                b = getattr(fast, field.name)
+                assert np.array_equal(a, b), (
+                    f"trial {trial}: {field.name} differs"
+                )
+            eligible = rng.random(plain.labels.size) < 0.8
+            tie_hash = candidate_tie_hash(
+                trial, nodes[plain.node_pos], plain.labels
+            )
+            choice_p, risky_p = pick_targets_hashed(plain, eligible, tie_hash)
+            choice_w, risky_w = pick_targets_hashed(
+                fast, eligible, tie_hash, workspace=workspace
+            )
+            assert np.array_equal(choice_p, choice_w), f"trial {trial}"
+            assert np.array_equal(risky_p, risky_w), f"trial {trial}"

@@ -58,27 +58,40 @@ def refine_program(comm, chunk, engine, iterations=4, delta=True):
 
 
 class TestFrontierIdentity:
-    """frontier == full, label for label, sanitized, p in {1, 4}."""
+    """frontier/adaptive == full, label for label, sanitized, p in {1, 4}.
 
+    The adaptive rows hold because every sweep the controller picks is
+    label-identical to the full sweep (frontier identity for frontier
+    iterations, superset-scan neutrality for full ones) and, at
+    chunk = 64 on these graph sizes, the chunk probes all clamp to the
+    same effective chunk.  At tiny requested chunks the probe steps sit
+    below the clamp and legitimately change the trajectory, so the
+    adaptive grid runs at the throughput chunk only.
+    """
+
+    @pytest.mark.parametrize("engine,chunk", [
+        ("frontier", 2), ("frontier", 64), ("adaptive", 64),
+    ])
     @pytest.mark.parametrize("size", [1, 4])
     @pytest.mark.parametrize("constrained", [False, True])
-    @pytest.mark.parametrize("chunk", [2, 64])
-    def test_cluster_mode(self, size, constrained, chunk):
+    def test_cluster_mode(self, size, constrained, chunk, engine):
         full = run_spmd(size, cluster_program, chunk, "full", constrained,
                         seed=1, sanitize=True).value
-        frontier = run_spmd(size, cluster_program, chunk, "frontier",
-                            constrained, seed=1, sanitize=True).value
-        assert np.array_equal(full, frontier)
+        other = run_spmd(size, cluster_program, chunk, engine,
+                         constrained, seed=1, sanitize=True).value
+        assert np.array_equal(full, other)
 
+    @pytest.mark.parametrize("engine,chunk", [
+        ("frontier", 2), ("frontier", 64), ("adaptive", 64),
+    ])
     @pytest.mark.parametrize("size", [1, 4])
-    @pytest.mark.parametrize("chunk", [2, 64])
-    def test_refine_mode(self, size, chunk):
+    def test_refine_mode(self, size, chunk, engine):
         for iterations in (1, 2, 4):
             full = run_spmd(size, refine_program, chunk, "full", iterations,
                             seed=1, sanitize=True).value
-            frontier = run_spmd(size, refine_program, chunk, "frontier",
-                                iterations, seed=1, sanitize=True).value
-            assert np.array_equal(full, frontier), (
+            other = run_spmd(size, refine_program, chunk, engine,
+                             iterations, seed=1, sanitize=True).value
+            assert np.array_equal(full, other), (
                 f"labels diverge after {iterations} iteration(s)"
             )
 

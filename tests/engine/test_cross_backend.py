@@ -5,7 +5,7 @@ on a single PE, and that the process backend is bit-identical to the
 thread backend at any PE count.  These tests pin every stochastic input
 (tie seed and visit-order rng) on both sides and assert *bit-identical*
 labels per LP iteration across the engine grid (scan, chunk=1, chunked
-full, chunked frontier), then iterate the refinement loop for the
+full, chunked frontier, adaptive), then iterate the refinement loop for the
 fast/eco iteration budgets and assert identical final labels and edge
 cuts.  The p = 1 identity grid runs under both SPMD runtimes, so
 ``Local == Spmd == Process`` is pinned on the same fixtures; the
@@ -43,9 +43,13 @@ from repro.engine import LocalBackend, make_dist_backend, run_sclp
 from repro.generators import barabasi_albert, rgg, rmat
 from repro.graph.validation import max_block_weight_bound
 from repro.metrics.quality import edge_cut
+from repro.obsv.tracer import TRACER
 
 GRAPH_NAMES = ("rmat9", "ba9", "rgg9")
-ENGINE_GRID = [(0, "full"), (1, "full"), (64, "full"), (64, "frontier")]
+ENGINE_GRID = [
+    (0, "full"), (1, "full"), (64, "full"), (64, "frontier"),
+    (64, "adaptive"),
+]
 #: both SPMD runtimes; at p = 1 each uses its in-process fast path, so
 #: the closure-based pinned programs below work under either.
 RUNNERS = [run_spmd, run_spmd_processes]
@@ -230,3 +234,131 @@ def test_parallel_partition_backend_identity():
     assert np.array_equal(spmd.partition, proc.partition)
     assert spmd.sim_time == proc.sim_time
     assert _shm_leaks() == []
+
+
+# ---------------------------------------------------------------------------
+# adaptive engine: cross-backend decision-trace identity
+# ---------------------------------------------------------------------------
+
+ADAPTIVE_ITERS = 8
+ADAPTIVE_CHUNK = 64
+
+
+def _padaptive(comm, graph, engine, iters):
+    """Spawn-safe program: one multi-iteration SCLP call, generous bound.
+
+    The generous bound gives a converging cluster run whose active
+    fraction collapses over a few iterations, so the controller actually
+    crosses the full -> frontier entry threshold.  Labels come back via
+    the return value; the per-iteration decision trace is harvested from
+    ``lp.autotune`` tracer spans (worker records are absorbed into the
+    parent for the process runtime).
+    """
+    vtxdist = balanced_vtxdist(graph.num_nodes, comm.size)
+    dgraph = DistGraph.from_global(graph, vtxdist, comm.rank)
+    backend = make_dist_backend(dgraph, comm)
+    labels = dgraph.to_global(np.arange(dgraph.n_total))
+    labels = run_sclp(
+        backend, labels, int(graph.vwgt.sum()), iters,
+        refine=False, ordering="degree", chunk=ADAPTIVE_CHUNK,
+        engine=engine, tie_seed=90,
+    )
+    return dgraph.gather_global(comm, labels[: dgraph.n_local]).tolist()
+
+
+def _decision_trace(records, rank):
+    """(iteration, sweep, chunk_request) tuples from lp.autotune spans."""
+    return [
+        (r["attrs"]["iteration"], r["attrs"]["sweep"],
+         r["attrs"]["chunk_request"])
+        for r in records
+        if r.get("type") == "span" and r.get("name") == "lp.autotune"
+        and r.get("rank") == rank
+    ]
+
+
+def _traced(fn):
+    TRACER.enable(reset=True)
+    try:
+        out = fn()
+        return out, TRACER.snapshot()
+    finally:
+        TRACER.disable()
+
+
+def _local_adaptive(graph, engine, iters):
+    return run_sclp(
+        LocalBackend(graph, np.random.default_rng(700)),
+        np.arange(graph.num_nodes, dtype=np.int64),
+        int(graph.vwgt.sum()), iters,
+        refine=False, ordering="degree", chunk=ADAPTIVE_CHUNK,
+        engine=engine, tie_seed=90,
+    )
+
+
+class TestAdaptiveDecisionIdentity:
+    """The controller's (sweep, chunk) trace is a pure function of the
+    observed label trajectory.
+
+    The switch signal is computed from the net end-of-phase label diff
+    (never from per-chunk mover counts, which depend on the chunk layout
+    and hence on the rank count), so backends that produce the same
+    trajectory must produce bit-identical per-iteration decisions:
+    threads vs processes at p = 4 over the full multi-iteration run, and
+    Local vs both dist runtimes at p = 1 over the executed prefix (a
+    p = 1 dist call stops after one phase — the interface-quiet
+    termination asymmetry documented in the module docstring).  Labels
+    stay bit-identical to the static engines' union: the per-iteration
+    frontier == full identity makes the full engine the oracle for
+    whichever sweep the controller selected at each iteration.
+    """
+
+    def test_p4_threads_vs_processes_full_trajectory(self):
+        g = make_graph("rmat9")
+        spmd, rec_s = _traced(lambda: run_spmd(
+            4, _padaptive, g, "adaptive", ADAPTIVE_ITERS, seed=5).value)
+        proc, rec_p = _traced(lambda: run_spmd_processes(
+            4, _padaptive, "adaptive", ADAPTIVE_ITERS, graph=g,
+            seed=5).value)
+        traces_s = [_decision_trace(rec_s, r) for r in range(4)]
+        traces_p = [_decision_trace(rec_p, r) for r in range(4)]
+        # The allreduced stats vector is the controller's only
+        # cross-rank input, so every rank holds the same decision state.
+        assert all(t == traces_s[0] for t in traces_s)
+        assert all(t == traces_p[0] for t in traces_p)
+        assert traces_s[0] == traces_p[0]
+        assert spmd == proc
+        # Both sweep modes actually fired, so the identity is not
+        # vacuous, and the trace covers every executed iteration.
+        assert {s for _, s, _ in traces_s[0]} == {"full", "frontier"}
+        assert [i for i, _, _ in traces_s[0]] == list(range(len(traces_s[0])))
+        # Static-union label identity at p = 4.
+        full = run_spmd(
+            4, _padaptive, g, "full", ADAPTIVE_ITERS, seed=5).value
+        assert spmd == full
+        assert _shm_leaks() == []
+
+    def test_local_and_p1_dist_agree_on_the_executed_prefix(self):
+        g = make_graph("rmat9")
+        local, rec_l = _traced(
+            lambda: _local_adaptive(g, "adaptive", ADAPTIVE_ITERS))
+        trace_local = _decision_trace(rec_l, None)
+        assert {s for _, s, _ in trace_local} == {"full", "frontier"}
+        p1_s, rec_s = _traced(lambda: run_spmd(
+            1, _padaptive, g, "adaptive", ADAPTIVE_ITERS, seed=5).value)
+        p1_p, rec_p = _traced(lambda: run_spmd_processes(
+            1, _padaptive, "adaptive", ADAPTIVE_ITERS, graph=g,
+            seed=5).value)
+        t_s = _decision_trace(rec_s, 0)
+        t_p = _decision_trace(rec_p, 0)
+        assert len(t_s) >= 1
+        assert t_s == t_p == trace_local[: len(t_s)]
+        assert p1_s == p1_p
+        # The common executed prefix is label-identical too: a p = 1
+        # dist run covers exactly its first len(t_s) iterations.
+        local_prefix = _local_adaptive(g, "adaptive", len(t_s))
+        assert np.array_equal(local_prefix, np.asarray(p1_s))
+        # Static-union label identity for the full local run.
+        assert np.array_equal(
+            local, _local_adaptive(g, "full", ADAPTIVE_ITERS))
+        assert _shm_leaks() == []
