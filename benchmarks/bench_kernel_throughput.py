@@ -346,6 +346,86 @@ def phase_breakdown() -> dict:
     }
 
 
+#: leg program for the out-of-core comparison: each leg runs in its own
+#: process because VmHWM is a process-lifetime high-water mark (this
+#: bench process has already held rmat15 graphs by the time it runs)
+_OOCORE_LEG = """\
+import json, sys, time
+from repro.api import partition_oocore
+from repro.graph import open_sharded
+from repro.perf.rss import memory_sample
+
+mode, shard_dir, iterations = sys.argv[1], sys.argv[2], int(sys.argv[3])
+graph = open_sharded(shard_dir)
+if mode == "memory":
+    graph = graph.materialized()
+t0 = time.perf_counter()
+result = partition_oocore(graph, 8, seed=3, iterations=iterations)
+wall = time.perf_counter() - t0
+print(json.dumps({
+    "wall_s": wall,
+    "peak_rss_bytes": memory_sample()["peak_rss_bytes"],
+    "cut": int(result.quality.cut),
+    "arcs_read": int(graph.store.stats().arcs_read),
+    "labels_sum": int(result.partition.sum()),
+}))
+"""
+
+
+def oocore_breakdown() -> dict:
+    """Out-of-core vs in-memory flat SCLP on a sharded scale-18 RMAT.
+
+    Informational (not part of the ``--check`` gate): arc throughput and
+    peak RSS of the same semi-external program on the two stores.  The
+    interesting numbers are ``peak_rss_ratio`` (how much memory the
+    ``MmapShardStore`` actually saves) and ``slowdown`` (what streaming
+    the arcs from disk costs); the identical cuts are the equivalence
+    contract, test-enforced at scale 21.
+    """
+    import subprocess
+    import tempfile
+
+    from repro.generators import rmat_shards
+
+    iterations = 4
+    with tempfile.TemporaryDirectory() as tmp:
+        shard_dir = os.path.join(tmp, "rmat18.shards")
+        rmat_shards(shard_dir, scale=18, edge_factor=8, seed=7)
+        legs = {}
+        for mode in ("mmap", "memory"):
+            proc = subprocess.run(
+                [sys.executable, "-c", _OOCORE_LEG, mode, shard_dir,
+                 str(iterations)],
+                check=True, capture_output=True, text=True,
+                env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")},
+            )
+            legs[mode] = json.loads(proc.stdout)
+    arcs = legs["mmap"]["arcs_read"]  # identical programs, same traffic
+    return {
+        "oocore_lp_rmat18": {
+            "instance": "rmat18",
+            "k": 8,
+            "iterations": iterations,
+            "mmap_arc_reads_per_s": round(arcs / legs["mmap"]["wall_s"], 1),
+            "memory_arc_reads_per_s": round(arcs / legs["memory"]["wall_s"], 1),
+            "mmap_peak_rss_bytes": legs["mmap"]["peak_rss_bytes"],
+            "memory_peak_rss_bytes": legs["memory"]["peak_rss_bytes"],
+            "peak_rss_ratio": round(
+                legs["mmap"]["peak_rss_bytes"]
+                / legs["memory"]["peak_rss_bytes"], 3,
+            ),
+            "slowdown": round(
+                legs["mmap"]["wall_s"] / legs["memory"]["wall_s"], 2
+            ),
+            "cut": legs["mmap"]["cut"],
+            "labels_identical": (
+                legs["mmap"]["cut"] == legs["memory"]["cut"]
+                and legs["mmap"]["labels_sum"] == legs["memory"]["labels_sum"]
+            ),
+        },
+    }
+
+
 def measure() -> dict:
     instances = {
         "rmat": rmat(13, seed=1),
@@ -424,6 +504,7 @@ def measure() -> dict:
         },
         "frontier_metrics": frontier_stats(headline),
         "phase_metrics": phase_breakdown(),
+        "oocore_metrics": oocore_breakdown(),
     }
 
 

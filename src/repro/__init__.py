@@ -30,7 +30,7 @@ Quickstart::
 
 from .version import __version__
 
-__all__ = ["__version__", "partition_graph", "PartitionResult"]
+__all__ = ["__version__", "partition_graph", "partition_oocore", "PartitionResult"]
 
 
 def __getattr__(name):
@@ -40,6 +40,10 @@ def __getattr__(name):
         from .api import partition_graph
 
         return partition_graph
+    if name == "partition_oocore":
+        from .api import partition_oocore
+
+        return partition_oocore
     if name == "PartitionResult":
         from .api import PartitionResult
 

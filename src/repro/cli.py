@@ -14,8 +14,11 @@ Mirrors the ergonomics of the real tools (``parhip``, ``kaffpa``)::
     python -m repro lint src/
 
 Graphs are read by extension: ``.metis``/``.graph`` (METIS format),
-``.dimacs``/``.col`` (DIMACS), ``.npz`` (native), anything else is tried
-as an edge list.
+``.dimacs``/``.col`` (DIMACS), ``.npz`` (native), a directory containing
+``manifest.json`` (sharded CSR, opened memory-mapped), anything else is
+tried as an edge list.  ``repro convert graph.metis shards/`` produces
+the sharded on-disk form; ``repro partition shards/ -k 8 --store mmap``
+partitions it out of core.
 """
 
 from __future__ import annotations
@@ -30,7 +33,10 @@ from .api import partition_graph
 from .core.clustering import cluster_graph
 from .graph import (
     Graph,
+    convert_to_sharded,
+    is_sharded_dir,
     load_npz,
+    open_sharded,
     read_dimacs,
     read_edge_list,
     read_metis,
@@ -47,7 +53,31 @@ __all__ = ["main"]
 _MACHINES = {"A": MACHINE_A, "B": MACHINE_B}
 
 
-def _load_graph(path: str) -> Graph:
+def _load_graph(path: str, store: str | None = None,
+                resident_shards: int | None = None) -> Graph:
+    """Read a graph; ``store`` picks the backing storage.
+
+    ``store=None`` keeps the natural form of the input (files load into
+    memory, shard directories open memory-mapped).  ``'memory'`` forces a
+    resident graph (materializing shard directories); ``'mmap'`` forces
+    the sharded store, converting file inputs through a ``<path>.shards``
+    sibling directory on first use.
+    """
+    if is_sharded_dir(path):
+        kwargs = {}
+        if resident_shards is not None:
+            kwargs["max_resident_shards"] = resident_shards
+        graph = open_sharded(path, **kwargs)
+        return graph.materialized() if store == "memory" else graph
+    if store == "mmap":
+        shard_dir = Path(path).with_name(Path(path).name + ".shards")
+        if not is_sharded_dir(shard_dir):
+            convert_to_sharded(path, shard_dir)
+            print(f"sharded copy written to {shard_dir}")
+        kwargs = {}
+        if resident_shards is not None:
+            kwargs["max_resident_shards"] = resident_shards
+        return open_sharded(shard_dir, **kwargs)
     suffix = Path(path).suffix.lower()
     if suffix in (".metis", ".graph"):
         return read_metis(path)
@@ -86,7 +116,8 @@ def _write_trace_outputs(trace_out: str) -> None:
 def _cmd_partition(args: argparse.Namespace) -> int:
     from .core.config import eco_config, fast_config, minimal_config
 
-    graph = _load_graph(args.graph)
+    graph = _load_graph(args.graph, store=args.store,
+                        resident_shards=args.resident_shards)
     factory = {"fast": fast_config, "eco": eco_config, "minimal": minimal_config}
     config = factory[args.preset](
         k=args.k,
@@ -129,6 +160,23 @@ def _cmd_partition(args: argparse.Namespace) -> int:
         print(f"partition written to {args.output}")
     if args.trace:
         _write_trace_outputs(args.trace)
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    out = Path(args.output)
+    if out.suffix.lower() in (".npz", ".metis", ".graph"):
+        # Shard directory (or any readable graph) back to a single file.
+        graph = _load_graph(args.input, store="memory")
+        _save_graph(graph, str(out))
+        print(f"{graph} -> {out}")
+        return 0
+    kwargs = {}
+    if args.nodes_per_shard is not None:
+        kwargs["nodes_per_shard"] = args.nodes_per_shard
+    manifest = convert_to_sharded(args.input, out, **kwargs)
+    graph = open_sharded(out)
+    print(f"{graph} -> {manifest} ({graph.store.num_shards} shards)")
     return 0
 
 
@@ -302,6 +350,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="LP chunk size: 0 = node-at-a-time scan, >= 1 = "
                         "chunked kernels (default: REPRO_LP_CHUNK, then "
                         "the kernel default)")
+    p.add_argument("--store", choices=("memory", "mmap"), default=None,
+                   help="graph storage: 'memory' loads the whole CSR into "
+                        "RAM, 'mmap' streams arcs from a sharded on-disk "
+                        "copy (out-of-core; converts file inputs once). "
+                        "Default: whatever the input already is")
+    p.add_argument("--resident-shards", dest="resident_shards", type=int,
+                   default=None,
+                   help="LRU residency bound for --store mmap / shard-dir "
+                        "inputs (default 4 shards)")
     p.add_argument("--initial-partition", dest="initial_partition",
                    help="warm-start partition file (one block id per line)")
     p.add_argument("--trace", metavar="OUT.json", default=None,
@@ -309,6 +366,20 @@ def build_parser() -> argparse.ArgumentParser:
                         "and the event stream to OUT.events.jsonl")
     p.add_argument("-o", "--output")
     p.set_defaults(func=_cmd_partition)
+
+    v = sub.add_parser(
+        "convert",
+        help="convert a graph to the sharded on-disk CSR form (or back: "
+             "an .npz/.metis output materializes a shard directory)",
+    )
+    v.add_argument("input", help="graph file or shard directory")
+    v.add_argument("output",
+                   help="output shard directory, or a .npz/.metis/.graph "
+                        "file to materialize into")
+    v.add_argument("--nodes-per-shard", dest="nodes_per_shard", type=int,
+                   default=None,
+                   help="shard span in nodes; power of two (default 65536)")
+    v.set_defaults(func=_cmd_convert)
 
     g = sub.add_parser("generate", help="generate a benchmark graph")
     g.add_argument("family",

@@ -5,11 +5,16 @@ read-only for the whole SPMD execution (PR 6's MUT-BUF lint rule
 enforces exactly that on the library side).  So instead of pickling a
 copy of the CSR arrays into every worker, the parent parks ``xadj``,
 ``adjncy``, ``vwgt`` and ``adjwgt`` in ``multiprocessing.shared_memory``
-segments once, and each worker reconstructs the :class:`~repro.graph.csr.Graph`
-as zero-copy NumPy views over the mapped buffers (all four arrays are
-int64 and contiguous, so ``Graph.__post_init__`` keeps the views as-is).
-The views are marked read-only in the workers, so an accidental in-place
-write fails loudly instead of racing the siblings.
+segments once, and each worker reconstructs the
+:class:`~repro.graph.csr.Graph` as zero-copy NumPy views over the mapped
+buffers.  The views are marked read-only in the workers, so an
+accidental in-place write fails loudly instead of racing the siblings.
+
+The implementation lives in
+:class:`repro.graph.store.SharedMemoryStore` — shared memory is just
+another :class:`~repro.graph.store.GraphStore` — and this module is the
+process backend's thin facade over it: one create/attach/unlink code
+path, the historical names kept for the runtime and the lifecycle tests.
 
 Lifetime: the parent (:func:`repro.dist.runtime.run_spmd_processes`)
 owns the segments and unlinks them in a ``finally`` block — including on
@@ -21,67 +26,28 @@ not create a second ownership record to leak or double-free.
 
 from __future__ import annotations
 
-import uuid
-from dataclasses import dataclass
 from multiprocessing import shared_memory
 
-import numpy as np
-
 from ..graph.csr import Graph
+from ..graph.store import SHM_PREFIX, SharedCSRHandle, SharedMemoryStore
 
 __all__ = ["SharedCSRHandle", "SharedCSR", "attach_graph", "SHM_PREFIX"]
-
-#: shared-memory segment name prefix (visible as ``/dev/shm/<name>`` on
-#: Linux); tests scan for leaks by this prefix
-SHM_PREFIX = "repro_csr"
-
-_FIELDS = ("xadj", "adjncy", "vwgt", "adjwgt")
-
-
-@dataclass(frozen=True)
-class SharedCSRHandle:
-    """Picklable description of a graph parked in shared memory."""
-
-    graph_name: str
-    num_nodes: int
-    #: ``(field, segment name, element count)`` per CSR array, all int64
-    segments: tuple[tuple[str, str, int], ...]
 
 
 class SharedCSR:
     """Parent-side owner of one graph's shared-memory segments."""
 
     def __init__(self, graph: Graph) -> None:
-        self._segments: list[shared_memory.SharedMemory] = []
-        entries: list[tuple[str, str, int]] = []
-        try:
-            for field in _FIELDS:
-                src = np.ascontiguousarray(getattr(graph, field), dtype=np.int64)
-                name = f"{SHM_PREFIX}_{uuid.uuid4().hex[:12]}_{field}"
-                seg = shared_memory.SharedMemory(
-                    name=name, create=True, size=max(1, src.nbytes)
-                )
-                self._segments.append(seg)
-                if src.size:
-                    np.ndarray(src.shape, dtype=np.int64, buffer=seg.buf)[:] = src
-                entries.append((field, seg.name, int(src.size)))
-        except BaseException:
-            self.unlink()
-            raise
-        self.handle = SharedCSRHandle(
-            graph_name=graph.name, num_nodes=graph.num_nodes,
-            segments=tuple(entries),
-        )
+        self._store = SharedMemoryStore.create(graph)
+        self.handle = self._store.handle
+
+    @property
+    def store(self) -> SharedMemoryStore:
+        return self._store
 
     def unlink(self) -> None:
         """Destroy the segments (idempotent; called from the parent)."""
-        segments, self._segments = self._segments, []
-        for seg in segments:
-            try:
-                seg.close()
-                seg.unlink()
-            except FileNotFoundError:
-                pass
+        self._store.unlink()
 
 
 def attach_graph(
@@ -93,19 +59,5 @@ def attach_graph(
     the segment objects alive as long as the graph is in use.  The
     arrays are read-only views — the segments belong to the parent.
     """
-    arrays: dict[str, np.ndarray] = {}
-    attached: list[shared_memory.SharedMemory] = []
-    for field, name, count in handle.segments:
-        seg = shared_memory.SharedMemory(name=name)
-        # Workers spawned by run_spmd_processes share the parent's
-        # resource tracker, so this attach re-registers a name the
-        # parent already owns — a no-op; the parent's unlink clears it.
-        attached.append(seg)
-        view = np.ndarray((count,), dtype=np.int64, buffer=seg.buf)
-        view.setflags(write=False)
-        arrays[field] = view
-    graph = Graph(
-        xadj=arrays["xadj"], adjncy=arrays["adjncy"], vwgt=arrays["vwgt"],
-        adjwgt=arrays["adjwgt"], name=handle.graph_name,
-    )
-    return graph, attached
+    store = SharedMemoryStore.attach(handle)
+    return Graph.from_store(store), store.segments

@@ -85,7 +85,10 @@ class ExecutionBackend(Protocol):
     size: int  # number of PEs sharing the budget (1 for local)
     tie_base: int  # local-to-global node id offset (hash tie-breaking)
     rng: np.random.Generator
+    resident: bool  # arc arrays RAM-resident (False for out-of-core stores)
 
+    def clamp_chunk(self, chunk: int) -> int: ...
+    def store_stats(self): ...
     def node_weights(self) -> np.ndarray: ...
     def interface_mask(self) -> np.ndarray: ...
     def label_space(self, labels: np.ndarray) -> int: ...
@@ -116,12 +119,23 @@ class LocalBackend:
         self.graph = graph
         self.rng = rng
         self.xadj = graph.xadj
-        self.adjncy = graph.adjncy
-        self.adjwgt = graph.adjwgt
+        # Store-served arc arrays: plain ndarrays for a resident store
+        # (bit-for-bit the pre-store behaviour), gather views otherwise —
+        # the kernels only fancy-index these, so an out-of-core store
+        # streams shards instead of materializing O(m) arrays.
+        self.adjncy = graph.adjncy_view
+        self.adjwgt = graph.adjwgt_view
         self.degrees = graph.degrees
         self.n_local = graph.num_nodes
         self.n_total = graph.num_nodes
+        self.resident = graph.resident
         self._interface: np.ndarray | None = None
+
+    def clamp_chunk(self, chunk: int) -> int:
+        return int(self.graph.store.clamp_chunk(chunk))
+
+    def store_stats(self):
+        return self.graph.store.stats()
 
     def node_weights(self) -> np.ndarray:
         return np.asarray(self.graph.vwgt, dtype=np.int64)
@@ -170,6 +184,15 @@ class LocalBackend:
 
 class SpmdBackend:
     """Distributed-memory backend over ``DistGraph`` + ``SimComm``."""
+
+    # DistGraph slices are in-RAM (possibly shared-memory) arrays.
+    resident = True
+
+    def clamp_chunk(self, chunk: int) -> int:
+        return chunk
+
+    def store_stats(self):
+        return None
 
     def __init__(self, dgraph, comm, delta_exchange: bool = True):
         self.dgraph = dgraph

@@ -71,12 +71,26 @@ from .kernels import (
     plan_chunk,
 )
 from ..obsv.tracer import TRACER
-from ..perf.rss import current_rss_bytes
+from ..perf.rss import memory_sample
 from .backend import ExecutionBackend
 
 __all__ = ["run_sclp"]
 
 _SENTINEL = np.iinfo(np.int64).max
+
+
+def _set_store_gauges(backend: ExecutionBackend) -> None:
+    """Publish an out-of-core store's cumulative access counters.
+
+    Gauges (not counters) because the store accumulates across phases
+    and runs — the last set value is the run's total, so repeated
+    publication never double-counts.
+    """
+    stats = backend.store_stats()
+    if stats is None or backend.resident:
+        return
+    for key, value in stats.as_dict().items():
+        TRACER.metrics.gauge(f"store.{key}").set(value)
 
 
 def run_sclp(
@@ -107,7 +121,7 @@ def run_sclp(
     """
     if shares and k is None:
         raise ValueError("the budget-share regime requires k")
-    if ordering not in ("degree", "random"):
+    if ordering not in ("degree", "random", "node"):
         raise ValueError(f"unknown ordering {ordering!r}")
     labels = np.asarray(labels, dtype=np.int64).copy()
     bound = int(max_block_weight)
@@ -188,18 +202,29 @@ def _chunked_phases(
         weight = np.zeros(space, dtype=np.int64)
         np.add.at(weight, labels, vwgt_all)
 
-    # Degree order is phase-invariant (and consumes no randomness), so
-    # the per-chunk arc structure can be planned once and re-aggregated
-    # every phase; random order needs fresh plans per phase, and the
-    # frontier engine re-plans any window it filters.
-    if ordering == "degree":
-        base_order = np.argsort(degrees, kind="stable")
+    # Degree and node order are phase-invariant (and consume no
+    # randomness), so the per-chunk arc structure can be planned once and
+    # re-aggregated every phase; random order needs fresh plans per
+    # phase, and the frontier engine re-plans any window it filters.
+    # Caching plans retains every chunk's gathered arc arrays, i.e. the
+    # whole graph — exactly what an out-of-core store must not do, so
+    # caching is also gated on the arc arrays being RAM-resident.
+    static_order = ordering in ("degree", "node")
+    if static_order:
+        if ordering == "degree":
+            base_order = np.argsort(degrees, kind="stable")
+        else:
+            # Natural node order: chunk windows are contiguous node (and
+            # therefore shard) ranges, the shard-sequential visit order
+            # of the semi-external regime.
+            base_order = np.arange(n_local, dtype=np.int64)
         if not refine:
             base_order = base_order[degrees[base_order] > 0]
+    cache_plans = static_order and backend.resident
     plan_cache: dict[tuple[int, int], object] = {}
 
     def chunk_plan(nodes, lo, hi):
-        if ordering != "degree":
+        if not cache_plans:
             return plan_chunk(nodes, xadj, adjncy, adjwgt, constraint)
         key = (lo, hi)
         plan = plan_cache.get(key)
@@ -225,7 +250,12 @@ def _chunked_phases(
             frontier_mode if decision is None
             else decision.sweep == SWEEP_FRONTIER
         )
-        req_chunk = chunk if decision is None else decision.chunk
+        # Chunk requests (static or autotune probes) are clamped by the
+        # backend's store: a sharded store rounds to a divisor of its
+        # shard node span so chunk windows do not straddle shard seams.
+        req_chunk = backend.clamp_chunk(
+            chunk if decision is None else decision.chunk
+        )
         # Adaptive full sweeps defer the frontier bookkeeping: collect
         # what *would* activate (movers, risky, capped, changed ghosts)
         # as cheap array appends, and only materialise the active set if
@@ -238,7 +268,7 @@ def _chunked_phases(
         wall_t0 = _time.perf_counter() if adaptive else 0.0
         if defer:
             np.copyto(base_labels, labels[:n_local])
-        if ordering == "degree":
+        if static_order:
             order = base_order
         else:
             order = backend.rng.permutation(n_local)
@@ -279,7 +309,7 @@ def _chunked_phases(
         # fraction, so there filtering is unconditional.
         filtering = sweep_frontier and (
             adaptive
-            or ordering != "degree"
+            or not cache_plans
             or order.size == 0
             or active[order].mean() < FRONTIER_FULL_SWEEP_FRACTION
         )
@@ -509,11 +539,12 @@ def _chunked_phases(
                     global_changed=global_changed, active=scanned,
                     frontier_frac=round(scanned / max(1, order.size), 4))
         if TRACER.enabled:
-            lp_span.set(rss_bytes=current_rss_bytes())
+            lp_span.set(**memory_sample())
             if workspace is not None:
                 lp_span.set(workspace_bytes=workspace.nbytes)
             TRACER.metrics.counter("lp.iterations").inc()
             TRACER.metrics.counter("lp.moved_nodes").inc(moved)
+            _set_store_gauges(backend)
         lp_span.__exit__(None, None, None)
         if sweep_frontier:
             active, next_active = next_active, active
@@ -591,8 +622,12 @@ def _scan_phases(
         for v in range(n_total):
             weight_list[label_list[v]] += vwgt_list[v]
 
-    if ordering == "degree" and band is None:
-        degree_order = np.argsort(backend.degrees, kind="stable").tolist()
+    if band is None and ordering in ("degree", "node"):
+        static_order_list = (
+            np.argsort(backend.degrees, kind="stable").tolist()
+            if ordering == "degree"
+            else list(range(n_local))
+        )
     band_list = None if band is None else band.tolist()
 
     for _phase in range(max(0, iterations)):
@@ -608,8 +643,8 @@ def _scan_phases(
                 band_list[i]
                 for i in backend.rng.permutation(len(band_list)).tolist()
             ]
-        elif ordering == "degree":
-            order = degree_order
+        elif ordering in ("degree", "node"):
+            order = static_order_list
         else:
             order = backend.rng.permutation(n_local).tolist()
         if shares:
@@ -758,7 +793,7 @@ def _scan_phases(
         global_changed = backend.global_changed(moved, len(changed))
         lp_span.set(moved=moved, arcs=arcs_scanned, global_changed=global_changed)
         if TRACER.enabled:
-            lp_span.set(rss_bytes=current_rss_bytes())
+            lp_span.set(**memory_sample())
             TRACER.metrics.counter("lp.iterations").inc()
             TRACER.metrics.counter("lp.moved_nodes").inc(moved)
         lp_span.__exit__(None, None, None)

@@ -6,12 +6,15 @@ from .mesh import grid_2d, grid_3d, torus_2d
 from .planted import planted_partition
 from .rgg import random_geometric_graph, rgg, rgg_radius
 from .rmat import rmat
+from .stream import EdgeSpill, ba_shards, rmat_shards, web_shards
 from .suite import INSTANCES, Instance, family_instance, instance_names, load_instance
 from .webgraph import web_copy_graph
 
 __all__ = [
+    "EdgeSpill",
     "INSTANCES",
     "Instance",
+    "ba_shards",
     "barabasi_albert",
     "delaunay",
     "delaunay_graph",
@@ -26,6 +29,8 @@ __all__ = [
     "rgg",
     "rgg_radius",
     "rmat",
+    "rmat_shards",
     "torus_2d",
     "web_copy_graph",
+    "web_shards",
 ]

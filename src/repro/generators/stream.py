@@ -1,0 +1,311 @@
+"""Streaming generators: emit sharded graphs without materializing them.
+
+The in-RAM generators (:mod:`repro.generators.rmat`, ``ba``,
+``webgraph``) build the whole edge list before CSR assembly, which caps
+them at graphs that fit in memory — exactly the regime the out-of-core
+store exists to escape.  The writers here generate edges in bounded
+batches, spill them to per-shard bucket files on disk, and assemble one
+shard at a time through :class:`~repro.graph.store.ShardedWriter`, so
+peak memory is O(n + batch + one shard) regardless of the arc count.
+
+The models match their in-RAM counterparts structurally (R-MAT quadrant
+recursion, preferential attachment, host-community copying model) but
+are *not* bit-identical to them: batching changes the RNG consumption
+order, and per-node target sets are deduplicated globally rather than
+resampled.  Sharded outputs are deterministic per (seed, parameters).
+
+The spill-and-sort pass is the external-memory CSR construction of the
+semi-external partitioning recipe (arXiv:1404.4887): every arc ``(u, v)``
+is appended to the bucket owning ``u`` (both directions of an edge, so
+the result is symmetric), then each bucket is independently sorted,
+deduplicated and written as one shard — global deduplication falls out
+because all copies of an arc land in the same bucket.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from ..graph.store import DEFAULT_NODES_PER_SHARD, ShardedWriter
+from .webgraph import web_copy_graph
+
+__all__ = ["EdgeSpill", "rmat_shards", "ba_shards", "web_shards"]
+
+#: spill-buffer flush threshold per bucket (bytes of raw arc pairs)
+_FLUSH_BYTES = 4 << 20
+
+
+class EdgeSpill:
+    """Disk-backed arc buckets feeding a :class:`ShardedWriter`.
+
+    :meth:`add_edges` appends undirected edges (both arc directions, one
+    into each endpoint's bucket); :meth:`finalize` sorts and dedupes one
+    bucket at a time — dropping self-loops and parallel edges — and
+    writes it as one shard.  Only one bucket's arcs are in RAM at once.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        nodes_per_shard: int = DEFAULT_NODES_PER_SHARD,
+        spill_dir: str | Path | None = None,
+    ) -> None:
+        self.num_nodes = int(num_nodes)
+        self.nodes_per_shard = int(nodes_per_shard)
+        self.num_buckets = max(
+            1, -(-self.num_nodes // self.nodes_per_shard)
+        )
+        self._own_dir = spill_dir is None
+        self._dir = Path(
+            tempfile.mkdtemp(prefix="repro-spill-") if spill_dir is None
+            else spill_dir
+        )
+        self._dir.mkdir(parents=True, exist_ok=True)
+        self._pending: list[list[bytes]] = [[] for _ in range(self.num_buckets)]
+        self._pending_bytes = [0] * self.num_buckets
+
+    def _bucket_path(self, bucket: int) -> Path:
+        return self._dir / f"bucket-{bucket:05d}.pairs"
+
+    def add_edges(self, u: np.ndarray, v: np.ndarray) -> None:
+        """Append undirected edges; self-loops are dropped here."""
+        u = np.asarray(u, dtype=np.int64)
+        v = np.asarray(v, dtype=np.int64)
+        keep = u != v
+        if not keep.all():
+            u, v = u[keep], v[keep]
+        if u.size == 0:
+            return
+        src = np.concatenate([u, v])
+        dst = np.concatenate([v, u])
+        self._append_arcs(src, dst)
+
+    def _append_arcs(self, src: np.ndarray, dst: np.ndarray) -> None:
+        buckets = src // self.nodes_per_shard
+        order = np.argsort(buckets, kind="stable")
+        buckets_sorted = buckets[order]
+        heads = np.flatnonzero(
+            np.concatenate(([True], buckets_sorted[1:] != buckets_sorted[:-1]))
+        )
+        bounds = np.append(heads, buckets_sorted.size)
+        for pos in range(heads.size):
+            sel = order[bounds[pos] : bounds[pos + 1]]
+            bucket = int(buckets_sorted[heads[pos]])
+            blob = np.column_stack((src[sel], dst[sel])).tobytes()
+            self._pending[bucket].append(blob)
+            self._pending_bytes[bucket] += len(blob)
+            if self._pending_bytes[bucket] >= _FLUSH_BYTES:
+                self._flush(bucket)
+
+    def _flush(self, bucket: int) -> None:
+        if not self._pending[bucket]:
+            return
+        with open(self._bucket_path(bucket), "ab") as handle:
+            for blob in self._pending[bucket]:
+                handle.write(blob)
+        self._pending[bucket] = []
+        self._pending_bytes[bucket] = 0
+
+    def finalize(
+        self,
+        out_dir: str | Path,
+        name: str = "graph",
+        vwgt: np.ndarray | None = None,
+    ) -> Path:
+        """Assemble the shards; returns the manifest path.
+
+        Consumes the spill: bucket files are deleted as they are folded
+        into shards, and the spill directory (when owned) is removed.
+        """
+        writer = ShardedWriter(
+            out_dir, self.num_nodes, nodes_per_shard=self.nodes_per_shard,
+            name=name,
+        )
+        try:
+            for bucket in range(self.num_buckets):
+                lo = bucket * self.nodes_per_shard
+                hi = min(lo + self.nodes_per_shard, self.num_nodes)
+                self._flush(bucket)
+                path = self._bucket_path(bucket)
+                if path.is_file():
+                    pairs = np.fromfile(path, dtype=np.int64).reshape(-1, 2)
+                    path.unlink()
+                else:
+                    pairs = np.empty((0, 2), dtype=np.int64)
+                rel = pairs[:, 0] - lo
+                # One sortable key per arc dedupes parallel edges and
+                # yields neighbour-sorted adjacency lists in one pass.
+                keys = np.unique(rel * self.num_nodes + pairs[:, 1])
+                degrees = np.bincount(
+                    keys // self.num_nodes, minlength=hi - lo
+                ).astype(np.int64)
+                writer.add_shard(degrees, keys % self.num_nodes)
+            return writer.finish(vwgt=vwgt)
+        finally:
+            if self._own_dir:
+                shutil.rmtree(self._dir, ignore_errors=True)
+
+
+def rmat_shards(
+    out_dir: str | Path,
+    scale: int,
+    edge_factor: int = 8,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: int = 0,
+    nodes_per_shard: int = DEFAULT_NODES_PER_SHARD,
+    batch_draws: int = 1 << 18,
+    name: str | None = None,
+) -> Path:
+    """Sharded R-MAT graph with ``2^scale`` nodes, generated in batches.
+
+    Same quadrant recursion, node-id scrambling and dedupe semantics as
+    :func:`repro.generators.rmat.rmat`, but edge draws come in batches of
+    ``batch_draws`` so peak memory is O(n + batch) — the generated graph
+    differs from the in-RAM one for the same seed (batched RNG order).
+    Returns the manifest path.
+    """
+    d = 1.0 - a - b - c
+    if d < 0 or min(a, b, c, d) < 0:
+        raise ValueError("quadrant probabilities must be non-negative and sum to <= 1")
+    n = 2**scale
+    num_draws = edge_factor * n
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(n)
+    powers = 2 ** np.arange(scale - 1, -1, -1, dtype=np.int64)
+    p_col_given_row0 = b / (a + b) if (a + b) > 0 else 0.0
+    p_col_given_row1 = d / (c + d) if (c + d) > 0 else 0.0
+
+    spill = EdgeSpill(n, nodes_per_shard=nodes_per_shard)
+    drawn = 0
+    while drawn < num_draws:
+        count = min(batch_draws, num_draws - drawn)
+        drawn += count
+        u = rng.random((count, scale))
+        v = rng.random((count, scale))
+        row_bits = u >= (a + b)
+        col_threshold = np.where(row_bits, p_col_given_row1, p_col_given_row0)
+        col_bits = v < col_threshold
+        rows = perm[(row_bits * powers).sum(axis=1)]
+        cols = perm[(col_bits * powers).sum(axis=1)]
+        spill.add_edges(rows, cols)
+    return spill.finalize(out_dir, name=name or f"rmat{scale}")
+
+
+def ba_shards(
+    out_dir: str | Path,
+    num_nodes: int,
+    attach: int = 4,
+    seed: int = 0,
+    nodes_per_shard: int = DEFAULT_NODES_PER_SHARD,
+    batch_nodes: int = 1 << 16,
+    name: str | None = None,
+) -> Path:
+    """Sharded preferential-attachment graph, generated in node batches.
+
+    Batched Barabási–Albert: nodes arrive in batches of ``batch_nodes``
+    and attach to ``attach`` endpoints sampled from the degree-urn *as of
+    the batch start* (a standard parallel-BA approximation; duplicate
+    picks merge, so realised degrees can fall slightly below ``attach``).
+    The urn lives in a disk-backed memmap, keeping RAM at O(n + batch).
+    Returns the manifest path.
+    """
+    if attach < 1:
+        raise ValueError("attach must be >= 1")
+    if num_nodes <= attach:
+        raise ValueError("num_nodes must exceed attach")
+    rng = np.random.default_rng(seed)
+    seed_nodes = attach + 1
+    seed_edges = [
+        (u, v) for u in range(seed_nodes) for v in range(u + 1, seed_nodes)
+    ]
+    urn_capacity = 2 * len(seed_edges) + 2 * attach * (num_nodes - seed_nodes)
+
+    spill = EdgeSpill(num_nodes, nodes_per_shard=nodes_per_shard)
+    with tempfile.TemporaryDirectory(prefix="repro-urn-") as urn_dir:
+        urn = np.memmap(
+            Path(urn_dir) / "urn.i64", dtype=np.int64, mode="w+",
+            shape=(urn_capacity,),
+        )
+        seed_arr = np.asarray(seed_edges, dtype=np.int64)
+        urn[: 2 * len(seed_edges)] = seed_arr.reshape(-1)
+        fill = 2 * len(seed_edges)
+        spill.add_edges(seed_arr[:, 0], seed_arr[:, 1])
+
+        start = seed_nodes
+        while start < num_nodes:
+            stop = min(start + batch_nodes, num_nodes)
+            count = stop - start
+            picks = rng.integers(0, fill, size=(count, attach))
+            targets = np.asarray(urn[:fill])[picks]
+            sources = np.repeat(
+                np.arange(start, stop, dtype=np.int64), attach
+            )
+            flat_targets = targets.reshape(-1)
+            spill.add_edges(sources, flat_targets)
+            grow = np.column_stack((sources, flat_targets)).reshape(-1)
+            urn[fill : fill + grow.size] = grow
+            fill += grow.size
+            start = stop
+        del urn
+    return spill.finalize(
+        out_dir, name=name or f"ba-n{num_nodes}-m{attach}"
+    )
+
+
+def web_shards(
+    out_dir: str | Path,
+    num_nodes: int,
+    out_degree: int = 7,
+    copy_probability: float = 0.7,
+    host_size: int = 4096,
+    inter_host_probability: float = 0.05,
+    leaf_fraction: float = 0.45,
+    seed: int = 0,
+    nodes_per_shard: int = DEFAULT_NODES_PER_SHARD,
+    name: str | None = None,
+) -> Path:
+    """Sharded web-crawl-like graph with contiguous host communities.
+
+    Hosts are contiguous node ranges of ``host_size`` pages; each host's
+    internal copying-model structure is generated in RAM (hosts are
+    small) by :func:`~repro.generators.webgraph.web_copy_graph` and
+    spilled, then ``inter_host_probability`` extra links per page connect
+    random pages of earlier hosts — so cross-host structure exists
+    without ever holding more than one host in memory.  Returns the
+    manifest path.
+    """
+    if host_size < 8:
+        raise ValueError("host_size must be >= 8")
+    rng = np.random.default_rng(seed)
+    spill = EdgeSpill(num_nodes, nodes_per_shard=nodes_per_shard)
+    for base in range(0, num_nodes, host_size):
+        size = min(host_size, num_nodes - base)
+        if size < 2:
+            if base > 0:
+                spill.add_edges(
+                    np.arange(base, base + size, dtype=np.int64),
+                    rng.integers(0, base, size=size),
+                )
+            continue
+        host = web_copy_graph(
+            size, out_degree=out_degree, copy_probability=copy_probability,
+            hosts=1, leaf_fraction=leaf_fraction,
+            seed=int(rng.integers(0, 2**31)),
+        )
+        sources = host.arc_sources()
+        targets = host.adjncy
+        upper = sources < targets
+        spill.add_edges(sources[upper] + base, targets[upper] + base)
+        if base > 0:
+            links = max(1, int(inter_host_probability * size))
+            spill.add_edges(
+                base + rng.integers(0, size, size=links),
+                rng.integers(0, base, size=links),
+            )
+    return spill.finalize(out_dir, name=name or f"web-n{num_nodes}")

@@ -8,6 +8,16 @@ arrays so that the O(n + m) kernels (label propagation, contraction,
 matching) can run as vectorised array programs instead of per-edge Python
 loops.
 
+A :class:`Graph` does not own its arrays directly: it holds a
+:class:`~repro.graph.store.GraphStore` that serves them.  The default
+:class:`~repro.graph.store.InMemoryStore` makes ``graph.xadj`` etc. the
+same zero-copy arrays as before; an out-of-core store (see
+:mod:`repro.graph.store`) keeps only the O(n) arrays in RAM and streams
+arc blocks from disk.  Accessing ``graph.adjncy``/``graph.adjwgt`` on
+such a graph *materializes* the arc arrays (O(m) memory) — memory-bound
+code paths use :meth:`Graph.arc_block` / :attr:`Graph.adjncy_view`
+instead.
+
 Conventions
 -----------
 * Graphs are *undirected*: every edge ``{u, v}`` is stored twice, once in
@@ -22,7 +32,6 @@ Conventions
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Iterator
 
 import numpy as np
@@ -37,7 +46,6 @@ class GraphError(ValueError):
     """Raised when graph arrays are structurally invalid."""
 
 
-@dataclass(frozen=True)
 class Graph:
     """An undirected weighted graph in CSR (adjacency array) form.
 
@@ -56,39 +64,25 @@ class Graph:
         undirected edge carry the same weight).
     """
 
-    xadj: np.ndarray
-    adjncy: np.ndarray
-    vwgt: np.ndarray
-    adjwgt: np.ndarray
-    name: str = field(default="graph", compare=False)
+    __slots__ = ("_store", "name", "_arc_cache")
+
+    def __init__(
+        self,
+        xadj: np.ndarray,
+        adjncy: np.ndarray,
+        vwgt: np.ndarray,
+        adjwgt: np.ndarray,
+        name: str = "graph",
+    ) -> None:
+        from .store import InMemoryStore
+
+        self._store = InMemoryStore(xadj, adjncy, vwgt, adjwgt, name=name)
+        self.name = name
+        self._arc_cache = None
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
-    def __post_init__(self) -> None:
-        object.__setattr__(self, "xadj", np.ascontiguousarray(self.xadj, dtype=_INDEX_DTYPE))
-        object.__setattr__(self, "adjncy", np.ascontiguousarray(self.adjncy, dtype=_INDEX_DTYPE))
-        object.__setattr__(self, "vwgt", np.ascontiguousarray(self.vwgt, dtype=_WEIGHT_DTYPE))
-        object.__setattr__(self, "adjwgt", np.ascontiguousarray(self.adjwgt, dtype=_WEIGHT_DTYPE))
-        if self.xadj.ndim != 1 or self.xadj.size == 0:
-            raise GraphError("xadj must be a 1-d array of length n + 1")
-        if self.xadj[0] != 0:
-            raise GraphError("xadj must start at 0")
-        if self.xadj[-1] != self.adjncy.size:
-            raise GraphError(
-                f"xadj[-1] ({self.xadj[-1]}) must equal len(adjncy) ({self.adjncy.size})"
-            )
-        if np.any(np.diff(self.xadj) < 0):
-            raise GraphError("xadj must be non-decreasing")
-        if self.vwgt.size != self.num_nodes:
-            raise GraphError("vwgt must have length n")
-        if self.adjwgt.size != self.adjncy.size:
-            raise GraphError("adjwgt must be parallel to adjncy")
-        if self.adjncy.size and (
-            self.adjncy.min() < 0 or self.adjncy.max() >= self.num_nodes
-        ):
-            raise GraphError("adjncy contains out-of-range node ids")
-
     @classmethod
     def from_csr(
         cls,
@@ -108,18 +102,99 @@ class Graph:
             adjwgt = np.ones(adjncy.size, dtype=_WEIGHT_DTYPE)
         return cls(xadj, adjncy, vwgt, adjwgt, name=name)
 
+    @classmethod
+    def from_store(cls, store, name: str | None = None) -> "Graph":
+        """Wrap a :class:`~repro.graph.store.GraphStore` without copying."""
+        graph = cls.__new__(cls)
+        graph._store = store
+        graph.name = store.name if name is None else name
+        graph._arc_cache = None
+        return graph
+
+    # ------------------------------------------------------------------
+    # Storage
+    # ------------------------------------------------------------------
+    @property
+    def store(self):
+        """The :class:`~repro.graph.store.GraphStore` serving this graph."""
+        return self._store
+
+    @property
+    def resident(self) -> bool:
+        """Whether the arc arrays are RAM-resident (whole-array access is free)."""
+        return bool(self._store.resident)
+
+    def arc_block(self, start: int, end: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(adjncy[start:end], adjwgt[start:end])`` served by the store.
+
+        This is the O(1)-memory access path for out-of-core graphs: only
+        the shards covering ``[start, end)`` are touched.
+        """
+        return self._store.arc_block(start, end)
+
+    @property
+    def adjncy_view(self):
+        """``adjncy`` as an ndarray (resident) or a store-backed gather view."""
+        if self._store.resident:
+            return self._store.adjncy
+        from .store import ArcGatherView
+
+        return ArcGatherView(self._store, "adjncy")
+
+    @property
+    def adjwgt_view(self):
+        """``adjwgt`` as an ndarray (resident) or a store-backed gather view."""
+        if self._store.resident:
+            return self._store.adjwgt
+        from .store import ArcGatherView
+
+        return ArcGatherView(self._store, "adjwgt")
+
+    def materialized(self) -> "Graph":
+        """This graph with all four CSR arrays in RAM (self when resident)."""
+        if self._store.resident:
+            return self
+        adjncy, adjwgt = self._materialized_arcs()
+        return Graph(self.xadj, adjncy, self.vwgt, adjwgt, name=self.name)
+
+    def _materialized_arcs(self) -> tuple[np.ndarray, np.ndarray]:
+        if self._arc_cache is None:
+            self._arc_cache = self._store.materialize()
+        return self._arc_cache
+
+    # ------------------------------------------------------------------
+    # Array access
+    # ------------------------------------------------------------------
+    @property
+    def xadj(self) -> np.ndarray:
+        return self._store.xadj
+
+    @property
+    def vwgt(self) -> np.ndarray:
+        return self._store.vwgt
+
+    @property
+    def adjncy(self) -> np.ndarray:
+        """Arc targets; materializes the arc arrays for out-of-core stores."""
+        return self._materialized_arcs()[0]
+
+    @property
+    def adjwgt(self) -> np.ndarray:
+        """Arc weights; materializes the arc arrays for out-of-core stores."""
+        return self._materialized_arcs()[1]
+
     # ------------------------------------------------------------------
     # Size properties
     # ------------------------------------------------------------------
     @property
     def num_nodes(self) -> int:
         """Number of nodes ``n``."""
-        return int(self.xadj.size - 1)
+        return int(self._store.num_nodes)
 
     @property
     def num_arcs(self) -> int:
         """Number of stored directed arcs (``2m`` for a symmetric graph)."""
-        return int(self.adjncy.size)
+        return int(self._store.num_arcs)
 
     @property
     def num_edges(self) -> int:
@@ -139,7 +214,23 @@ class Graph:
     @property
     def total_edge_weight(self) -> int:
         """``omega(E)`` — the sum of all undirected edge weights."""
-        return int(self.adjwgt.sum()) // 2
+        if self._store.resident:
+            return int(self.adjwgt.sum()) // 2
+        total = 0
+        for start, end in self._store_blocks():
+            total += int(self.arc_block(start, end)[1].sum())
+        return total // 2
+
+    def _store_blocks(self) -> Iterator[tuple[int, int]]:
+        """Arc ranges aligned to the store's shard layout (whole range if none)."""
+        span = self._store.chunk_nodes
+        if span is None:
+            yield 0, self.num_arcs
+            return
+        xadj = self.xadj
+        for lo in range(0, self.num_nodes, span):
+            hi = min(lo + span, self.num_nodes)
+            yield int(xadj[lo]), int(xadj[hi])
 
     # ------------------------------------------------------------------
     # Access
@@ -231,3 +322,22 @@ class Graph:
 
     def __hash__(self) -> int:
         return hash((self.num_nodes, self.num_arcs, int(self.vwgt.sum()), int(self.adjwgt.sum())))
+
+    def __getstate__(self) -> dict:
+        """Pickle as plain in-RAM arrays (stores hold OS handles)."""
+        return {
+            "xadj": self.xadj,
+            "adjncy": self.adjncy,
+            "vwgt": self.vwgt,
+            "adjwgt": self.adjwgt,
+            "name": self.name,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(
+            state["xadj"],
+            state["adjncy"],
+            state["vwgt"],
+            state["adjwgt"],
+            name=state["name"],
+        )

@@ -24,6 +24,13 @@ import numpy as np
 
 from .csr import Graph, GraphError
 from .build import from_coo
+from .store import (
+    DEFAULT_NODES_PER_SHARD,
+    DEFAULT_RESIDENT_SHARDS,
+    MANIFEST_NAME,
+    MmapShardStore,
+    ShardedWriter,
+)
 
 __all__ = [
     "write_metis",
@@ -36,6 +43,10 @@ __all__ = [
     "read_dimacs",
     "save_npz",
     "load_npz",
+    "save_sharded",
+    "open_sharded",
+    "is_sharded_dir",
+    "convert_to_sharded",
 ]
 
 
@@ -197,24 +208,105 @@ def read_dimacs(path: str | Path, name: str | None = None) -> Graph:
 
 
 def save_npz(graph: Graph, path: str | Path) -> None:
-    """Persist a graph's CSR arrays as a compressed ``.npz`` archive."""
-    np.savez_compressed(
-        path,
-        xadj=graph.xadj,
-        adjncy=graph.adjncy,
-        vwgt=graph.vwgt,
-        adjwgt=graph.adjwgt,
-        name=np.array(graph.name),
-    )
+    """Persist a graph's CSR arrays as a compressed ``.npz`` archive.
+
+    ``graph.name`` is stored in the archive, and — consistent with
+    :func:`write_metis`'s ``_has_nontrivial`` logic — all-ones weight
+    arrays are omitted; :func:`load_npz` restores them as unit weights.
+    """
+    arrays: dict[str, np.ndarray] = {
+        "xadj": graph.xadj,
+        "adjncy": graph.adjncy,
+        "name": np.array(graph.name),
+    }
+    if _has_nontrivial(graph.vwgt):
+        arrays["vwgt"] = graph.vwgt
+    if _has_nontrivial(graph.adjwgt):
+        arrays["adjwgt"] = graph.adjwgt
+    np.savez_compressed(path, **arrays)
 
 
 def load_npz(path: str | Path) -> Graph:
-    """Load a graph written by :func:`save_npz`."""
+    """Load a graph written by :func:`save_npz` (weights default to 1)."""
     with np.load(path, allow_pickle=False) as data:
-        return Graph(
-            data["xadj"], data["adjncy"], data["vwgt"], data["adjwgt"],
+        xadj = data["xadj"]
+        adjncy = data["adjncy"]
+        return Graph.from_csr(
+            xadj,
+            adjncy,
+            vwgt=data["vwgt"] if "vwgt" in data else None,
+            adjwgt=data["adjwgt"] if "adjwgt" in data else None,
             name=str(data["name"]) if "name" in data else Path(path).stem,
         )
+
+
+# ----------------------------------------------------------------------
+# Sharded on-disk CSR (out-of-core)
+# ----------------------------------------------------------------------
+
+def save_sharded(
+    graph: Graph,
+    out_dir: str | Path,
+    nodes_per_shard: int = DEFAULT_NODES_PER_SHARD,
+) -> Path:
+    """Write ``graph`` as a shard directory (see :mod:`repro.graph.store`).
+
+    Arc blocks are taken through the store one shard at a time, so
+    converting an already-sharded graph to a new shard layout does not
+    materialize it.  Returns the manifest path.
+    """
+    writer = ShardedWriter(
+        out_dir, graph.num_nodes, nodes_per_shard=nodes_per_shard,
+        name=graph.name,
+    )
+    xadj = graph.xadj
+    degrees = graph.degrees
+    for lo in range(0, graph.num_nodes, writer.nodes_per_shard):
+        hi = min(lo + writer.nodes_per_shard, graph.num_nodes)
+        adjncy, adjwgt = graph.arc_block(int(xadj[lo]), int(xadj[hi]))
+        writer.add_shard(degrees[lo:hi], adjncy, adjwgt)
+    return writer.finish(vwgt=graph.vwgt)
+
+
+def open_sharded(
+    directory: str | Path,
+    max_resident_shards: int = DEFAULT_RESIDENT_SHARDS,
+) -> Graph:
+    """Open a shard directory as an out-of-core :class:`Graph`.
+
+    The returned graph keeps only ``xadj``/``vwgt`` in RAM; arc blocks
+    are memory-mapped on demand with at most ``max_resident_shards``
+    shards resident.  Accessing ``graph.adjncy`` directly materializes
+    the arc arrays — use ``graph.arc_block`` for memory-bound code.
+    """
+    return Graph.from_store(
+        MmapShardStore.open(directory, max_resident_shards=max_resident_shards)
+    )
+
+
+def is_sharded_dir(path: str | Path) -> bool:
+    """Whether ``path`` is a shard directory (has a ``manifest.json``)."""
+    return (Path(path) / MANIFEST_NAME).is_file()
+
+
+def convert_to_sharded(
+    input_path: str | Path,
+    out_dir: str | Path,
+    nodes_per_shard: int = DEFAULT_NODES_PER_SHARD,
+) -> Path:
+    """Convert a METIS/npz/edge-list/shard-dir graph file to shards."""
+    path = Path(input_path)
+    if is_sharded_dir(path):
+        graph = open_sharded(path)
+    elif path.suffix == ".npz":
+        graph = load_npz(path)
+    elif path.suffix in (".metis", ".graph"):
+        graph = read_metis(path)
+    elif path.suffix in (".dimacs", ".col"):
+        graph = read_dimacs(path)
+    else:
+        graph = read_edge_list(path)
+    return save_sharded(graph, out_dir, nodes_per_shard=nodes_per_shard)
 
 
 def write_partition(partition: np.ndarray, path: str | Path) -> None:

@@ -8,6 +8,7 @@ from .quality import (
     cut_edges_mask,
     edge_cut,
     evaluate_partition,
+    evaluate_partition_streaming,
     imbalance,
     max_communication_volume,
     max_quotient_degree,
@@ -20,6 +21,7 @@ __all__ = [
     "cut_edges_mask",
     "edge_cut",
     "evaluate_partition",
+    "evaluate_partition_streaming",
     "imbalance",
     "max_communication_volume",
     "max_quotient_degree",

@@ -474,6 +474,13 @@ def build_run_summary(records: Iterable[dict]) -> dict[str, Any]:
         },
         "blame": straggler_blame(records),
         "memory": rank_memory(records),
+        # Graph-store disk traffic (out-of-core runs); empty for
+        # resident stores.  Like "autotune", not a required v1 key.
+        "store": {
+            name.removeprefix("store."): value
+            for name, value in gauges.items()
+            if name.startswith("store.")
+        },
     }
 
 

@@ -1,0 +1,73 @@
+"""Tests for the streaming (sharded, never-materialized) generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.generators import EdgeSpill, ba_shards, rmat_shards, web_shards
+from repro.graph import from_edges, open_sharded
+from repro.graph.validation import check_graph
+
+
+def _load(out_dir):
+    graph = open_sharded(out_dir)
+    return graph.materialized()
+
+
+class TestEdgeSpill:
+    def test_matches_from_edges(self, tmp_path):
+        rng = np.random.default_rng(4)
+        n = 200
+        u = rng.integers(0, n, size=3000)
+        v = rng.integers(0, n, size=3000)
+        spill = EdgeSpill(n, nodes_per_shard=32)
+        # Feed in several batches to exercise the flush path.
+        for lo in range(0, u.size, 700):
+            spill.add_edges(u[lo : lo + 700], v[lo : lo + 700])
+        spill.finalize(tmp_path / "shards", name="spilled")
+        graph = _load(tmp_path / "shards")
+        # EdgeSpill collapses parallel edges to a single unit-weight edge.
+        pairs = sorted(
+            {(min(a, b), max(a, b))
+             for a, b in zip(u.tolist(), v.tolist()) if a != b}
+        )
+        expected = from_edges(n, pairs).sorted_adjacency()
+        assert graph.sorted_adjacency() == expected
+        check_graph(graph)
+
+    def test_drops_self_loops_and_duplicates(self, tmp_path):
+        spill = EdgeSpill(4, nodes_per_shard=4)
+        spill.add_edges(np.array([0, 0, 1, 2, 0]), np.array([1, 1, 0, 2, 0]))
+        spill.finalize(tmp_path / "s", name="tiny")
+        graph = _load(tmp_path / "s")
+        assert sorted(graph.edges()) == [(0, 1, 1)]
+
+
+@pytest.mark.parametrize(
+    "factory,kwargs",
+    [
+        (rmat_shards, dict(scale=9, edge_factor=6)),
+        (ba_shards, dict(num_nodes=600, attach=3)),
+        (web_shards, dict(num_nodes=600)),
+    ],
+    ids=["rmat", "ba", "web"],
+)
+class TestStreamedFamilies:
+    def test_valid_symmetric_graph(self, factory, kwargs, tmp_path):
+        factory(tmp_path / "a", seed=1, nodes_per_shard=128, **kwargs)
+        graph = _load(tmp_path / "a")
+        check_graph(graph)
+        expect_nodes = kwargs.get("num_nodes", 1 << kwargs.get("scale", 0))
+        assert graph.num_nodes == expect_nodes
+        assert graph.num_edges > expect_nodes  # denser than a tree
+
+    def test_deterministic(self, factory, kwargs, tmp_path):
+        factory(tmp_path / "a", seed=7, nodes_per_shard=128, **kwargs)
+        factory(tmp_path / "b", seed=7, nodes_per_shard=128, **kwargs)
+        assert _load(tmp_path / "a") == _load(tmp_path / "b")
+
+    def test_seed_changes_graph(self, factory, kwargs, tmp_path):
+        factory(tmp_path / "a", seed=1, nodes_per_shard=128, **kwargs)
+        factory(tmp_path / "b", seed=2, nodes_per_shard=128, **kwargs)
+        assert _load(tmp_path / "a") != _load(tmp_path / "b")

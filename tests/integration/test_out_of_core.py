@@ -1,0 +1,91 @@
+"""Out-of-core acceptance: scale-21 RMAT, mmap store vs in-memory.
+
+The PR-level acceptance bar for the storage layer, on a 2^21-node RMAT
+graph generated straight to shards (never materialized by the
+generator):
+
+* the :class:`~repro.graph.store.MmapShardStore` partition is label
+  **bit-identical** to the same program on an in-memory copy, and
+* its peak RSS is at most half the in-memory leg's, as recorded in each
+  leg's ``run.json`` memory telemetry.
+
+``VmHWM`` is a process-lifetime high-water mark, so each leg runs in its
+own subprocess — the parent only generates the shards and compares the
+artifacts the legs leave behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+SCALE = 21
+K = 8
+SEED = 3
+ITERATIONS = 4
+
+_LEG = """\
+import sys
+import numpy as np
+
+from repro.api import partition_oocore
+from repro.graph import open_sharded
+from repro.obsv import TRACER, read_jsonl, write_jsonl, write_run_summary
+
+mode, shard_dir, prefix = sys.argv[1], sys.argv[2], sys.argv[3]
+graph = open_sharded(shard_dir)
+if mode == "memory":
+    graph = graph.materialized()
+TRACER.enable()
+result = partition_oocore(graph, {k}, seed={seed}, iterations={iterations})
+TRACER.disable()
+events = prefix + ".events.jsonl"
+write_jsonl(events, TRACER)
+write_run_summary(prefix + ".run.json", read_jsonl(events))
+np.save(prefix + ".labels.npy", result.partition)
+"""
+
+
+def _run_leg(mode: str, shard_dir, prefix) -> dict:
+    script = _LEG.format(k=K, seed=SEED, iterations=ITERATIONS)
+    env = dict(os.environ)
+    subprocess.run(
+        [sys.executable, "-c", script, mode, str(shard_dir), str(prefix)],
+        check=True, env=env, timeout=900,
+    )
+    with open(f"{prefix}.run.json", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+@pytest.mark.slow
+def test_scale21_bit_identity_and_rss_bound(tmp_path):
+    from repro.generators import rmat_shards
+
+    shard_dir = tmp_path / "rmat21"
+    rmat_shards(shard_dir, SCALE, edge_factor=8, seed=7)
+
+    summaries = {}
+    for mode in ("memory", "mmap"):
+        summaries[mode] = _run_leg(mode, shard_dir, tmp_path / mode)
+
+    memory_labels = np.load(tmp_path / "memory.labels.npy")
+    mmap_labels = np.load(tmp_path / "mmap.labels.npy")
+    assert memory_labels.shape == (1 << SCALE,)
+    assert np.array_equal(memory_labels, mmap_labels)
+
+    peaks = {
+        mode: int(summary["memory"]["peak_rss_bytes"])
+        for mode, summary in summaries.items()
+    }
+    assert peaks["mmap"] <= peaks["memory"] // 2, (
+        f"out-of-core peak RSS {peaks['mmap'] / 2**20:.0f} MiB exceeds half "
+        f"the in-memory leg's {peaks['memory'] / 2**20:.0f} MiB"
+    )
+
+    # The mmap leg really streamed: its run header names the store.
+    assert summaries["mmap"]["header"].get("store") == "MmapShardStore"
